@@ -1,0 +1,52 @@
+"""Fig. 1 / Sec. III-A — the nested safe sets and their computation.
+
+Fig. 1 is conceptual (X ⊇ XI ⊇ X'), but it rests on the set pipeline of
+Sec. III-A: the RMPC feasible region (Prop. 1), the RCI certificate and
+the strengthened safe set.  This bench regenerates the three sets,
+reports their areas and nesting, and times the X' computation (the
+artefact a deployment would re-run when retuning the controller).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.invariance import is_rci, strengthened_safe_set
+
+
+def bench_fig1_nested_sets(benchmark, acc_case):
+    case = acc_case
+    areas = {
+        "X (safe set)": case.system.safe_set.volume(),
+        "XI (robust invariant)": case.invariant_set.volume(),
+        "X' (strengthened)": case.strengthened_set.volume(),
+    }
+    rows = [(name, f"{area:.1f}") for name, area in areas.items()]
+    emit("Fig. 1 — nested safe sets (areas, shifted coords)", rows, ("set", "area"))
+
+    assert case.system.safe_set.contains_polytope(case.invariant_set, tol=1e-6)
+    assert case.invariant_set.contains_polytope(case.strengthened_set, tol=1e-7)
+    assert is_rci(
+        case.system.A, case.system.B, case.invariant_set,
+        case.system.input_set, case.system.disturbance_set, tol=1e-6,
+    )
+    benchmark.extra_info["areas"] = {k: float(v) for k, v in areas.items()}
+
+    benchmark(
+        lambda: strengthened_safe_set(
+            case.system, case.invariant_set, skip_input=case.skip_input
+        )
+    )
+
+
+def bench_fig1_membership_check(benchmark, acc_case):
+    """The runtime monitor's X'-membership test (the per-step cost the
+    whole scheme hinges on being cheap)."""
+    rng = np.random.default_rng(0)
+    states = acc_case.invariant_set.sample(rng, 64)
+    idx = [0]
+
+    def check():
+        idx[0] = (idx[0] + 1) % len(states)
+        return acc_case.strengthened_set.contains(states[idx[0]])
+
+    benchmark(check)

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs fail; this file enables ``pip install -e . --no-build-isolation
+--no-use-pep517`` (and plain ``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

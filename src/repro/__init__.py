@@ -1,0 +1,40 @@
+"""repro — reproduction of "Opportunistic Intermittent Control with Safety
+Guarantees for Autonomous Systems" (Huang et al., DAC 2020).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.geometry` — polytope kernel (H-rep, Minkowski algebra);
+* :mod:`repro.systems` — constrained LTI plants and disturbance models;
+* :mod:`repro.controllers` — LQR and robust MPC (Eq. 5);
+* :mod:`repro.invariance` — RCI sets, backward reachability, X' (Def. 1–3);
+* :mod:`repro.skipping` — decision functions Ω (Eq. 6/7, DRL);
+* :mod:`repro.rl` — numpy double-DQN substrate;
+* :mod:`repro.framework` — Algorithm 1 runtime with safety monitor;
+* :mod:`repro.traffic` — SUMO-substitute simulator and fuel meter;
+* :mod:`repro.acc` — the Sec. IV adaptive-cruise-control case study.
+"""
+
+from repro.framework import (
+    IntermittentController,
+    RunStats,
+    SafetyMonitor,
+    SafetyViolationError,
+    run_controller_only,
+)
+from repro.geometry import HPolytope
+from repro.invariance import strengthened_safe_set
+from repro.systems import DiscreteLTISystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HPolytope",
+    "DiscreteLTISystem",
+    "SafetyMonitor",
+    "SafetyViolationError",
+    "IntermittentController",
+    "run_controller_only",
+    "RunStats",
+    "strengthened_safe_set",
+    "__version__",
+]

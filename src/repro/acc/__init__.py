@@ -1,0 +1,31 @@
+"""ACC case study (paper Sec. IV): model, sets, DRL env, experiments."""
+
+from repro.acc.case_study import ACCCaseStudy, build_case_study, clear_case_study_cache
+from repro.acc.env import ACCSkippingEnv
+from repro.acc.experiments import (
+    FIG4_BIN_EDGES,
+    ApproachStats,
+    ComparisonResult,
+    case_study_for_experiment,
+    evaluate_approaches,
+    experiment_vf_range,
+    train_skipping_agent,
+)
+from repro.acc.model import ACCCoordinates, ACCParameters, build_acc_system
+
+__all__ = [
+    "ACCParameters",
+    "ACCCoordinates",
+    "build_acc_system",
+    "ACCCaseStudy",
+    "build_case_study",
+    "clear_case_study_cache",
+    "ACCSkippingEnv",
+    "train_skipping_agent",
+    "evaluate_approaches",
+    "case_study_for_experiment",
+    "experiment_vf_range",
+    "ApproachStats",
+    "ComparisonResult",
+    "FIG4_BIN_EDGES",
+]

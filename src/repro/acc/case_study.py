@@ -1,0 +1,168 @@
+"""Fully-assembled ACC case study (paper Sec. IV).
+
+:func:`build_case_study` wires together every piece the experiments need:
+the shifted-coordinate plant, the RMPC κ_R with horizon 10, the certified
+robust control invariant set ``XI`` (= the RMPC feasible region, Prop. 1),
+the strengthened safe set ``X'``, a monitor factory, coordinate
+transforms and the fuel meter.
+
+Set computation takes a few seconds, so results are cached per parameter
+set within the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.acc.model import ACCCoordinates, ACCParameters, build_acc_system
+from repro.controllers.rmpc import RobustMPC
+from repro.controllers.feasible import rmpc_invariant_set
+from repro.framework.accounting import RunStats
+from repro.framework.monitor import SafetyMonitor
+from repro.geometry import HPolytope
+from repro.invariance.reach import strengthened_safe_set
+from repro.systems.lti import DiscreteLTISystem
+from repro.traffic.fuel import HBEFA3Fuel
+
+__all__ = ["ACCCaseStudy", "build_case_study", "clear_case_study_cache"]
+
+
+@dataclass
+class ACCCaseStudy:
+    """Everything the ACC experiments operate on.
+
+    Attributes:
+        params: Numeric constants.
+        system: Shifted-coordinate constrained plant.
+        coords: Raw ↔ shifted transforms.
+        mpc: The underlying safe controller κ_R.
+        invariant_set: Certified RCI set ``XI``.
+        strengthened_set: ``X' = B(XI, u_skip) ∩ XI`` for this case's
+            skip input (coast by default — the paper's zero actuation).
+        fuel_meter: HBEFA3-like fuel surrogate.
+    """
+
+    params: ACCParameters
+    system: DiscreteLTISystem
+    coords: ACCCoordinates
+    mpc: RobustMPC
+    invariant_set: HPolytope
+    strengthened_set: HPolytope
+    fuel_meter: HBEFA3Fuel
+
+    @property
+    def skip_input(self) -> np.ndarray:
+        """Shifted-coordinate input applied when skipping."""
+        return self.params.skip_input_shifted
+
+    def make_monitor(self, strict: bool = True) -> SafetyMonitor:
+        """A fresh safety monitor over this case study's sets."""
+        return SafetyMonitor(
+            strengthened_set=self.strengthened_set,
+            invariant_set=self.invariant_set,
+            safe_set=self.system.safe_set,
+            strict=strict,
+        )
+
+    def sample_initial_states(
+        self, rng: np.random.Generator, count: int, region: str = "strengthened"
+    ) -> np.ndarray:
+        """Random initial states inside ``X'`` (default) or ``XI``.
+
+        The paper picks "feasible initial states within X'" for the
+        driving-scenario experiments.
+        """
+        if region == "strengthened":
+            return self.strengthened_set.sample(rng, count)
+        if region == "invariant":
+            return self.invariant_set.sample(rng, count)
+        raise ValueError("region must be 'strengthened' or 'invariant'")
+
+    # ------------------------------------------------------------------
+    # Raw-coordinate views of a framework run
+    # ------------------------------------------------------------------
+    def raw_velocities(self, stats: RunStats) -> np.ndarray:
+        """Ego velocity trace ``v`` (raw) for a shifted-coordinate run."""
+        return stats.states[:, 1] + self.params.v_ref
+
+    def raw_commands(self, stats: RunStats) -> np.ndarray:
+        """Raw commanded accelerations ``u = ũ + u_trim``."""
+        return stats.inputs[:, 0] + self.params.u_trim
+
+    def raw_distances(self, stats: RunStats) -> np.ndarray:
+        """Relative distance trace ``s`` (raw)."""
+        return stats.states[:, 0] + self.params.s_ref
+
+    def fuel_of_run(self, stats: RunStats) -> float:
+        """Trip fuel [g] of a framework run via the HBEFA3 surrogate."""
+        velocities = self.raw_velocities(stats)[:-1]
+        commands = self.raw_commands(stats)
+        return self.fuel_meter.trip_fuel(velocities, commands, self.params.delta)
+
+    def raw_energy_of_run(self, stats: RunStats) -> float:
+        """Problem-1 energy Σ‖u‖₁ on raw commands (skips cost zero in
+        coast mode, exactly as the paper's zero input)."""
+        return float(np.abs(self.raw_commands(stats)).sum())
+
+
+_CACHE: Dict[ACCParameters, ACCCaseStudy] = {}
+
+
+def build_case_study(
+    params: Optional[ACCParameters] = None,
+    vf_range: Optional[tuple] = None,
+    use_cache: bool = True,
+) -> ACCCaseStudy:
+    """Build (or fetch from cache) the assembled ACC case study.
+
+    Args:
+        params: Full parameter set; defaults to the paper's numbers.
+        vf_range: Shortcut overriding only the front-velocity range (the
+            Table-I experiment axis).  The disturbance set, and therefore
+            ``XI`` and ``X'``, are recomputed for the new range.
+        use_cache: Reuse previously-built instances for equal params.
+
+    Returns:
+        A ready :class:`ACCCaseStudy`.
+    """
+    if params is None:
+        params = ACCParameters()
+    if vf_range is not None:
+        from dataclasses import replace
+
+        params = replace(
+            params, vf_range=(float(vf_range[0]), float(vf_range[1]))
+        )
+    if use_cache and params in _CACHE:
+        return _CACHE[params]
+    system = build_acc_system(params)
+    mpc = RobustMPC(
+        system,
+        horizon=params.horizon,
+        state_weight=params.state_weight,
+        input_weight=params.input_weight,
+    )
+    invariant = rmpc_invariant_set(mpc, verify=True)
+    strengthened = strengthened_safe_set(
+        system, invariant, skip_input=params.skip_input_shifted
+    )
+    case = ACCCaseStudy(
+        params=params,
+        system=system,
+        coords=ACCCoordinates(params),
+        mpc=mpc,
+        invariant_set=invariant,
+        strengthened_set=strengthened,
+        fuel_meter=HBEFA3Fuel(),
+    )
+    if use_cache:
+        _CACHE[params] = case
+    return case
+
+
+def clear_case_study_cache() -> None:
+    """Drop all cached case studies (tests use this for isolation)."""
+    _CACHE.clear()

@@ -1,0 +1,175 @@
+"""Adaptive cruise control model of the paper's Sec. IV.
+
+Raw dynamics (forward-Euler, period δ):
+
+    s(t+1) = s(t) − (v(t) − v_f(t)) δ          (relative distance)
+    v(t+1) = v(t) − (k v(t) − u(t)) δ           (ego velocity, drag k)
+
+with the paper's numbers δ = 0.1, k = 0.2, s ∈ [120, 180], v ∈ [25, 55],
+u ∈ [−40, 40], v_f ∈ [30, 50].
+
+The formal framework (Eq. 1–2) requires the origin inside every
+constraint set, so the model shifts to the cruising equilibrium
+
+    s_e = 150,  v_e = 40,  u_e = k v_e = 8:
+    x̃ = (s − s_e, v − v_e),  ũ = u − u_e,  w̃ = (δ (v_f − v_e), 0).
+
+The paper's skipping applies a *zero control input* — zero actuation.
+In raw coordinates that is ``u = 0`` (coasting: the engine idles and the
+drag term decelerates the vehicle), which in shifted coordinates is the
+constant ``ũ = −u_e``.  The framework's backward reachable set
+``B(Y, 0)`` takes this skip input explicitly, so the strengthened safe
+set correctly accounts for the coast-down.  ``ACCParameters.skip_mode``
+selects ``"coast"`` (the paper's zero input, default) or ``"trim"``
+(hold the equilibrium input — a softer skipping variant kept for
+ablations).  The Problem-1 energy Σ‖u‖₁ is measured on raw commands,
+where skipping genuinely costs zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry import HPolytope
+from repro.systems.lti import DiscreteLTISystem
+from repro.utils.validation import as_vector
+
+__all__ = ["ACCParameters", "build_acc_system", "ACCCoordinates"]
+
+
+@dataclass(frozen=True)
+class ACCParameters:
+    """All numeric constants of the ACC case study (paper Sec. IV).
+
+    Attributes:
+        delta: Sampling / control period δ.
+        drag: Velocity drag coefficient k.
+        s_range: Safe relative-distance interval.
+        v_range: Ego velocity limits.
+        u_range: Actuation limits.
+        vf_range: Front-vehicle velocity range (defines W).
+        horizon: RMPC prediction horizon N.
+        state_weight: RMPC stage weight P.
+        input_weight: RMPC stage weight Q.
+        skip_mode: ``"coast"`` — skipping applies raw u = 0 (the paper's
+            zero control input); ``"trim"`` — skipping holds the
+            equilibrium input u_e (ablation variant).
+    """
+
+    delta: float = 0.1
+    drag: float = 0.2
+    s_range: tuple = (120.0, 180.0)
+    v_range: tuple = (25.0, 55.0)
+    u_range: tuple = (-40.0, 40.0)
+    vf_range: tuple = (30.0, 50.0)
+    horizon: int = 10
+    state_weight: float = 1.0
+    input_weight: float = 1.0
+    skip_mode: str = "coast"
+
+    def __post_init__(self):
+        if self.skip_mode not in ("coast", "trim"):
+            raise ValueError("skip_mode must be 'coast' or 'trim'")
+
+    @property
+    def s_ref(self) -> float:
+        """Equilibrium relative distance (mid-range)."""
+        return 0.5 * (self.s_range[0] + self.s_range[1])
+
+    @property
+    def v_ref(self) -> float:
+        """Equilibrium ego velocity = nominal front velocity (mid-range)."""
+        return 0.5 * (self.vf_range[0] + self.vf_range[1])
+
+    @property
+    def u_trim(self) -> float:
+        """Trim input holding v_ref against drag: u_e = k v_e."""
+        return self.drag * self.v_ref
+
+    @property
+    def A(self) -> np.ndarray:
+        """Shifted-coordinate state matrix."""
+        return np.array([[1.0, -self.delta], [0.0, 1.0 - self.drag * self.delta]])
+
+    @property
+    def B(self) -> np.ndarray:
+        """Shifted-coordinate input matrix."""
+        return np.array([[0.0], [self.delta]])
+
+    @property
+    def w_bound(self) -> float:
+        """Half-width of the shifted disturbance: δ · (vf half-range)."""
+        return self.delta * 0.5 * (self.vf_range[1] - self.vf_range[0])
+
+    @property
+    def skip_input_shifted(self) -> np.ndarray:
+        """The skip input in shifted coordinates.
+
+        ``"coast"`` → ``ũ = −u_e`` (raw u = 0, zero actuation);
+        ``"trim"`` → ``ũ = 0`` (hold u_e).
+        """
+        if self.skip_mode == "coast":
+            return np.array([-self.u_trim])
+        return np.array([0.0])
+
+
+@dataclass(frozen=True)
+class ACCCoordinates:
+    """Coordinate transforms between raw ACC variables and the shifted
+    LTI coordinates used by the formal framework."""
+
+    params: ACCParameters
+
+    def to_shifted(self, s, v) -> np.ndarray:
+        """Raw ``(s, v)`` → shifted state ``x̃``."""
+        p = self.params
+        return np.array([float(s) - p.s_ref, float(v) - p.v_ref])
+
+    def from_shifted(self, state) -> tuple:
+        """Shifted state ``x̃`` → raw ``(s, v)``."""
+        x = as_vector(state, "state")
+        p = self.params
+        return float(x[0] + p.s_ref), float(x[1] + p.v_ref)
+
+    def input_to_shifted(self, u) -> np.ndarray:
+        """Raw input ``u`` → shifted ``ũ = u − u_e``."""
+        return np.array([float(u) - self.params.u_trim])
+
+    def input_from_shifted(self, u_shifted) -> float:
+        """Shifted ``ũ`` → raw ``u``."""
+        u = as_vector(u_shifted, "u_shifted")
+        return float(u[0] + self.params.u_trim)
+
+    def disturbance_from_vf(self, vf_sequence) -> np.ndarray:
+        """Front-velocity trace → shifted disturbance sequence ``(T, 2)``.
+
+        ``w̃(t) = (δ (v_f(t) − v_ref), 0)`` — only the distance state is
+        disturbed.
+        """
+        vf = np.asarray(vf_sequence, dtype=float).reshape(-1)
+        p = self.params
+        w = np.zeros((vf.size, 2))
+        w[:, 0] = p.delta * (vf - p.v_ref)
+        return w
+
+
+def build_acc_system(params: ACCParameters = ACCParameters()) -> DiscreteLTISystem:
+    """Construct the shifted-coordinate constrained LTI plant.
+
+    Returns:
+        A :class:`DiscreteLTISystem` with
+        ``X = [s_range − s_ref] × [v_range − v_ref]``,
+        ``U = [u_range − u_trim]`` and ``W = [±w_bound] × {0}``.
+    """
+    p = params
+    safe = HPolytope.from_box(
+        [p.s_range[0] - p.s_ref, p.v_range[0] - p.v_ref],
+        [p.s_range[1] - p.s_ref, p.v_range[1] - p.v_ref],
+    )
+    inputs = HPolytope.from_box(
+        [p.u_range[0] - p.u_trim], [p.u_range[1] - p.u_trim]
+    )
+    disturbance = HPolytope.from_box([-p.w_bound, 0.0], [p.w_bound, 0.0])
+    return DiscreteLTISystem(p.A, p.B, safe, inputs, disturbance)

@@ -1,0 +1,158 @@
+"""Command-line interface for reproducing the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli sets                 # Fig. 1: nested safe sets
+    python -m repro.cli compare --cases 12   # Sec. IV-A three-way comparison
+    python -m repro.cli experiment ex5       # one Table-I/Fig-5/6 scenario
+    python -m repro.cli timing               # computation-saving numbers
+
+Each subcommand prints the same tables the benchmark suite emits, at a
+scale chosen via flags, so results can be regenerated without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_sets(args) -> int:
+    from repro.acc import build_case_study
+    from repro.geometry import ascii_sets
+
+    case = build_case_study()
+    print("Nested safe sets (paper Fig. 1): '.'=X  '+'=XI  '#'=X'\n")
+    print(
+        ascii_sets(
+            [case.system.safe_set, case.invariant_set, case.strengthened_set],
+            glyphs=[".", "+", "#"],
+            width=args.width,
+            height=args.height,
+        )
+    )
+    print(f"\nareas: X={case.system.safe_set.volume():.0f} "
+          f"XI={case.invariant_set.volume():.0f} "
+          f"X'={case.strengthened_set.volume():.0f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.acc import build_case_study, evaluate_approaches, train_skipping_agent
+
+    case = build_case_study()
+    print(f"training DQN ({args.episodes} episodes, {args.restarts} restart(s))...")
+    agent, _env, _history = train_skipping_agent(
+        case, args.experiment, episodes=args.episodes, seed=args.seed,
+        restarts=args.restarts,
+    )
+    result = evaluate_approaches(
+        case, args.experiment, num_cases=args.cases, horizon=args.horizon,
+        seed=args.seed + 1, agent=agent,
+    )
+    print(f"\n{'approach':<12} {'fuel[g]':>8} {'saving':>8} {'skip%':>6}")
+    print(f"{'RMPC-only':<12} {result.rmpc_only.fuel.mean():8.2f} {'-':>8} {0:5d}%")
+    for name in ("bang_bang", "drl"):
+        stats = result.stats(name)
+        print(
+            f"{name:<12} {stats.fuel.mean():8.2f} "
+            f"{100*result.fuel_saving(name).mean():7.2f}% "
+            f"{100*stats.skip_rate.mean():5.0f}%"
+        )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.acc import (
+        case_study_for_experiment,
+        evaluate_approaches,
+        train_skipping_agent,
+    )
+
+    case = case_study_for_experiment(args.name)
+    agent, _env, _history = train_skipping_agent(
+        case, args.name, episodes=args.episodes, seed=args.seed,
+        restarts=args.restarts,
+    )
+    result = evaluate_approaches(
+        case, args.name, num_cases=args.cases, horizon=args.horizon,
+        seed=args.seed + 1, agent=agent,
+    )
+    print(
+        f"{args.name}: DRL saving {100*result.fuel_saving('drl').mean():.2f}%  "
+        f"bang-bang {100*result.fuel_saving('bang_bang').mean():.2f}%  "
+        f"(skip {result.drl.skip_rate.mean():.2f}, "
+        f"forced {result.drl.forced_steps.mean():.1f})"
+    )
+    return 0
+
+
+def _cmd_timing(args) -> int:
+    import timeit
+
+    from repro.acc import build_case_study
+    from repro.framework import computation_saving
+
+    case = build_case_study()
+    rng = np.random.default_rng(0)
+    states = case.invariant_set.sample(rng, 16)
+    t_controller = timeit.timeit(
+        lambda: case.mpc.compute(states[0]), number=20
+    ) / 20
+    t_monitor = timeit.timeit(
+        lambda: case.strengthened_set.contains(states[0]), number=200
+    ) / 200
+    print(f"controller: {1e3*t_controller:.3f} ms/step")
+    print(f"monitor:    {1e3*t_monitor:.4f} ms/step")
+    for skips in (60, 79, 90):
+        saving = computation_saving(t_controller, t_monitor, 100, skips)
+        print(f"computation saving at {skips} skips/100: {100*saving:.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DAC'20 opportunistic intermittent control"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sets = sub.add_parser("sets", help="render the nested safe sets")
+    p_sets.add_argument("--width", type=int, default=66)
+    p_sets.add_argument("--height", type=int, default=22)
+    p_sets.set_defaults(func=_cmd_sets)
+
+    p_cmp = sub.add_parser("compare", help="three-way Sec. IV-A comparison")
+    p_cmp.add_argument("--experiment", default="overall")
+    p_cmp.add_argument("--cases", type=int, default=12)
+    p_cmp.add_argument("--horizon", type=int, default=100)
+    p_cmp.add_argument("--episodes", type=int, default=120)
+    p_cmp.add_argument("--restarts", type=int, default=1)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_exp = sub.add_parser("experiment", help="run one ex1..ex10 scenario")
+    p_exp.add_argument("name", help="experiment id (ex1..ex10, overall)")
+    p_exp.add_argument("--cases", type=int, default=12)
+    p_exp.add_argument("--horizon", type=int, default=100)
+    p_exp.add_argument("--episodes", type=int, default=80)
+    p_exp.add_argument("--restarts", type=int, default=1)
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_tim = sub.add_parser("timing", help="computation-saving numbers")
+    p_tim.set_defaults(func=_cmd_timing)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

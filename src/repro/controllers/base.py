@@ -1,0 +1,48 @@
+"""Controller interface.
+
+A controller is a state-feedback law ``u = κ(x)``.  The framework layer
+times each evaluation to reproduce the paper's computation-saving numbers,
+so controllers should do all their work inside :meth:`Controller.compute`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import as_vector
+
+__all__ = ["Controller", "ConstantController"]
+
+
+class Controller(ABC):
+    """Abstract state-feedback controller ``u = κ(x)``."""
+
+    #: Dimension of the produced input vector; subclasses must set it.
+    input_dim: int
+
+    @abstractmethod
+    def compute(self, state) -> np.ndarray:
+        """Compute the control input for ``state``.
+
+        Returns:
+            Input vector of shape ``(input_dim,)``.
+        """
+
+    def __call__(self, state) -> np.ndarray:
+        return self.compute(state)
+
+    def reset(self) -> None:
+        """Clear internal state (warm starts, caches).  Default: no-op."""
+
+
+class ConstantController(Controller):
+    """Always returns the same input (e.g. the zero/skip input)."""
+
+    def __init__(self, value):
+        self.value = as_vector(value, "value")
+        self.input_dim = self.value.size
+
+    def compute(self, state) -> np.ndarray:
+        return self.value.copy()

@@ -1,0 +1,275 @@
+"""Robust model predictive control (paper Eq. 5).
+
+The underlying safe controller of the ACC case study: a tube-style RMPC
+with nominal prediction, recursively tightened state constraints and a
+1-norm stage cost
+
+    J(x(t)) = min  Σ_{k=0}^{N-1}  P ||x(k|t)||_1 + Q ||u(k|t)||_1
+    s.t.    x(k+1|t) = A x(k|t) + B u(k|t)
+            x(k|t) ∈ X(k),  u(k|t) ∈ U,  x(N|t) ∈ X_t,
+            x(0|t) = x(t).
+
+The 1-norm cost makes the whole problem a single LP, solved with HiGHS.
+All constraint matrices are assembled once at construction; each call
+only rewrites the initial-state equality right-hand side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.controllers.base import Controller
+from repro.controllers.linear import lqr_gain
+from repro.controllers.tightening import tightened_constraints
+from repro.geometry import HPolytope
+from repro.invariance.rci import maximal_rpi
+from repro.systems.lti import DiscreteLTISystem
+from repro.utils.validation import as_vector
+
+__all__ = ["RobustMPC", "RMPCInfeasibleError", "RMPCSolution", "build_terminal_set"]
+
+
+class RMPCInfeasibleError(RuntimeError):
+    """Raised when the RMPC optimisation has no feasible solution at x."""
+
+
+@dataclass
+class RMPCSolution:
+    """Full open-loop solution of one RMPC solve.
+
+    Attributes:
+        inputs: Planned inputs, shape ``(N, m)``.
+        states: Predicted nominal states, shape ``(N+1, n)``.
+        cost: Optimal objective value ``J(x)``.
+    """
+
+    inputs: np.ndarray
+    states: np.ndarray
+    cost: float
+
+
+def build_terminal_set(
+    system: DiscreteLTISystem,
+    gain,
+    state_constraint: HPolytope,
+) -> HPolytope:
+    """Terminal set ``X_t``: maximal robust positively invariant subset of
+    ``state_constraint ∩ {x : K x ∈ U}`` under ``x⁺ = (A+BK) x + w``.
+
+    This realises the premise of the paper's Proposition 1 — a robust
+    local controller ``κ_L(x) = K x`` that keeps ``X_t`` invariant under
+    the full disturbance.
+    """
+    K = np.atleast_2d(np.asarray(gain, dtype=float))
+    closed_loop = system.closed_loop_matrix(K)
+    input_region = system.input_set.linear_preimage(K)
+    seed = state_constraint.intersect(input_region)
+    result = maximal_rpi(closed_loop, seed, system.disturbance_set)
+    return result.invariant_set
+
+
+class RobustMPC(Controller):
+    """The paper's RMPC κ_R (Eq. 5) as a single LP per step.
+
+    Args:
+        system: Constrained plant (provides A, B, X, U, W).
+        horizon: Prediction horizon ``N`` (the paper uses 10).
+        state_weight: ``P`` in the stage cost.
+        input_weight: ``Q`` in the stage cost.
+        terminal_set: ``X_t``.  When None, it is built from an LQR tube
+            gain via :func:`build_terminal_set`.
+        tube_gain: Feedback gain used only to build the default terminal
+            set.  When None, an LQR gain with identity weights is used.
+        tighten_with_closed_loop: If True, propagate the disturbance with
+            ``A + B K`` (Chisci) instead of the paper's open-loop ``A``.
+    """
+
+    def __init__(
+        self,
+        system: DiscreteLTISystem,
+        horizon: int = 10,
+        state_weight: float = 1.0,
+        input_weight: float = 1.0,
+        terminal_set: Optional[HPolytope] = None,
+        tube_gain=None,
+        tighten_with_closed_loop: bool = False,
+    ):
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.system = system
+        self.horizon = int(horizon)
+        self.state_weight = float(state_weight)
+        self.input_weight = float(input_weight)
+        self.input_dim = system.m
+
+        if tube_gain is None:
+            tube_gain = lqr_gain(
+                system.A, system.B, np.eye(system.n), np.eye(system.m)
+            )
+        self.tube_gain = np.atleast_2d(np.asarray(tube_gain, dtype=float))
+
+        propagation = (
+            system.closed_loop_matrix(self.tube_gain)
+            if tighten_with_closed_loop
+            else system.A
+        )
+        self.tightened = tightened_constraints(
+            system.safe_set, system.disturbance_set, self.horizon, propagation
+        )
+        if terminal_set is None:
+            terminal_set = build_terminal_set(
+                system, self.tube_gain, self.tightened[self.horizon]
+            )
+        self.terminal_set = terminal_set
+
+        self._assemble_lp()
+        self._solve_count = 0
+
+    # ------------------------------------------------------------------
+    # LP assembly
+    # ------------------------------------------------------------------
+    def _assemble_lp(self) -> None:
+        """Build the constant LP data for Eq. (5).
+
+        Variable layout: ``[x_0 … x_N, u_0 … u_{N-1}, sx_0 … sx_N,
+        su_0 … su_{N-1}]`` where ``sx, su`` are the 1-norm epigraph
+        variables (``±x <= sx``).
+        """
+        n, m, N = self.system.n, self.system.m, self.horizon
+        nx = n * (N + 1)
+        nu = m * N
+        self._nx, self._nu = nx, nu
+        total = 2 * nx + 2 * nu
+        self._total = total
+
+        def x_slice(k):
+            return slice(k * n, (k + 1) * n)
+
+        def u_slice(k):
+            return slice(nx + k * m, nx + (k + 1) * m)
+
+        def sx_slice(k):
+            return slice(nx + nu + k * n, nx + nu + (k + 1) * n)
+
+        def su_slice(k):
+            return slice(2 * nx + nu + k * m, 2 * nx + nu + (k + 1) * m)
+
+        self._x_slice = x_slice
+        self._u_slice = u_slice
+
+        # Cost: P sum(sx) + Q sum(su); epigraph vars for x_N are included
+        # with weight 0 (the paper's stage cost runs k = 0 … N-1).
+        cost = np.zeros(total)
+        for k in range(N):
+            cost[sx_slice(k)] = self.state_weight
+            cost[su_slice(k)] = self.input_weight
+        self._cost = cost
+
+        # Equalities: dynamics + initial state.
+        A_eq = np.zeros((n * N + n, total))
+        b_eq = np.zeros(n * N + n)
+        for k in range(N):
+            rows = slice(k * n, (k + 1) * n)
+            A_eq[rows, x_slice(k + 1)] = -np.eye(n)
+            A_eq[rows, x_slice(k)] = self.system.A
+            A_eq[rows, u_slice(k)] = self.system.B
+        A_eq[n * N :, x_slice(0)] = np.eye(n)
+        self._A_eq = A_eq
+        self._b_eq = b_eq
+        self._x0_rows = slice(n * N, n * N + n)
+
+        # Inequalities.
+        blocks = []
+        rhs = []
+        for k in range(N + 1):
+            Xk = self.tightened[k] if k < N else self.tightened[N]
+            row = np.zeros((Xk.num_constraints, total))
+            row[:, x_slice(k)] = Xk.H
+            blocks.append(row)
+            rhs.append(Xk.h)
+        term = np.zeros((self.terminal_set.num_constraints, total))
+        term[:, x_slice(N)] = self.terminal_set.H
+        blocks.append(term)
+        rhs.append(self.terminal_set.h)
+        U = self.system.input_set
+        for k in range(N):
+            row = np.zeros((U.num_constraints, total))
+            row[:, u_slice(k)] = U.H
+            blocks.append(row)
+            rhs.append(U.h)
+        # Epigraph: x - sx <= 0, -x - sx <= 0 (same for u).
+        for k in range(N + 1):
+            for sign in (1.0, -1.0):
+                row = np.zeros((n, total))
+                row[:, x_slice(k)] = sign * np.eye(n)
+                row[:, sx_slice(k)] = -np.eye(n)
+                blocks.append(row)
+                rhs.append(np.zeros(n))
+        for k in range(N):
+            for sign in (1.0, -1.0):
+                row = np.zeros((m, total))
+                row[:, u_slice(k)] = sign * np.eye(m)
+                row[:, su_slice(k)] = -np.eye(m)
+                blocks.append(row)
+                rhs.append(np.zeros(m))
+        self._A_ub = np.vstack(blocks)
+        self._b_ub = np.concatenate(rhs)
+        self._bounds = [(None, None)] * total
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self, state) -> RMPCSolution:
+        """Solve Eq. (5) at ``state`` and return the full plan.
+
+        Raises:
+            RMPCInfeasibleError: If ``state`` is outside the feasible
+                region ``X_F``.
+        """
+        x = as_vector(state, "state")
+        if x.size != self.system.n:
+            raise ValueError("state dimension mismatch")
+        self._b_eq[self._x0_rows] = x
+        res = linprog(
+            self._cost,
+            A_ub=self._A_ub,
+            b_ub=self._b_ub,
+            A_eq=self._A_eq,
+            b_eq=self._b_eq,
+            bounds=self._bounds,
+            method="highs",
+        )
+        if not res.success:
+            raise RMPCInfeasibleError(
+                f"RMPC infeasible at x={x} (status={res.status})"
+            )
+        self._solve_count += 1
+        n, m, N = self.system.n, self.system.m, self.horizon
+        sol = res.x
+        states = sol[: n * (N + 1)].reshape(N + 1, n)
+        inputs = sol[n * (N + 1) : n * (N + 1) + m * N].reshape(N, m)
+        return RMPCSolution(inputs=inputs, states=states, cost=float(res.fun))
+
+    def compute(self, state) -> np.ndarray:
+        """κ_R(x): first input of the optimal plan (receding horizon)."""
+        return self.solve(state).inputs[0]
+
+    def is_feasible(self, state) -> bool:
+        """Feasibility probe without raising."""
+        try:
+            self.solve(state)
+        except RMPCInfeasibleError:
+            return False
+        return True
+
+    @property
+    def solve_count(self) -> int:
+        """Number of successful LP solves (for compute accounting)."""
+        return self._solve_count
+
+    def reset(self) -> None:
+        self._solve_count = 0

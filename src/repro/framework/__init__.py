@@ -1,0 +1,19 @@
+"""Runtime framework: safety monitor, Algorithm 1 loop, accounting."""
+
+from repro.framework.accounting import RunStats, computation_saving
+from repro.framework.intermittent import IntermittentController, run_controller_only
+from repro.framework.monitor import SafetyMonitor, SafetyViolationError, StateClass
+from repro.framework.runner import BatchResult, BatchRunner, EpisodeRecord
+
+__all__ = [
+    "SafetyMonitor",
+    "StateClass",
+    "SafetyViolationError",
+    "IntermittentController",
+    "run_controller_only",
+    "RunStats",
+    "computation_saving",
+    "BatchRunner",
+    "BatchResult",
+    "EpisodeRecord",
+]

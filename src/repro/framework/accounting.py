@@ -1,0 +1,129 @@
+"""Energy and computation accounting for intermittent-control runs.
+
+Mirrors the quantities reported in the paper's Sec. IV-A:
+
+* actuation energy Σ‖u(t)‖₁ (Problem 1's objective);
+* per-step wall-clock of the safe controller vs. the monitor + Ω path;
+* the skip rate and the resulting computation-saving formula
+
+      saving = (T_κ·S − (T_mon·S + T_κ·(S − S_skip))) / (T_κ·S)
+
+  with ``S`` total steps, ``S_skip`` skipped steps, ``T_κ`` the mean safe
+  controller time and ``T_mon`` the mean monitor+Ω time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RunStats", "computation_saving"]
+
+
+def computation_saving(
+    controller_time: float,
+    monitor_time: float,
+    total_steps: int,
+    skipped_steps: int,
+) -> float:
+    """The paper's computation-saving ratio (Sec. IV-A).
+
+    Every step pays the monitor + Ω cost; only non-skipped steps pay the
+    controller cost.  Baseline pays the controller cost every step.
+
+    Returns:
+        Fractional saving in ``[−∞, 1)``; negative values mean the
+        monitoring overhead exceeded what skipping saved.
+    """
+    if total_steps <= 0:
+        raise ValueError("total_steps must be positive")
+    baseline = controller_time * total_steps
+    ours = monitor_time * total_steps + controller_time * (
+        total_steps - skipped_steps
+    )
+    return (baseline - ours) / baseline
+
+
+@dataclass
+class RunStats:
+    """Aggregated statistics of one intermittent-control run.
+
+    Attributes:
+        states: Visited states ``(T+1, n)``.
+        inputs: Applied inputs ``(T, m)`` (zero rows where skipped).
+        decisions: Skip choices ``z(t)`` (1 = ran κ, 0 = skipped).
+        forced: Mask of steps where the monitor forced ``z = 1``.
+        controller_seconds: Wall-clock spent inside κ per step (0 when
+            skipped).
+        monitor_seconds: Wall-clock of monitor + Ω per step.
+        disturbances: Realised disturbances ``(T, n)``.
+    """
+
+    states: np.ndarray
+    inputs: np.ndarray
+    decisions: np.ndarray
+    forced: np.ndarray
+    controller_seconds: np.ndarray
+    monitor_seconds: np.ndarray
+    disturbances: np.ndarray
+
+    @property
+    def steps(self) -> int:
+        """Number of control steps T."""
+        return int(self.inputs.shape[0])
+
+    @property
+    def energy(self) -> float:
+        """Actuation energy Σ‖u‖₁ (the paper's Problem-1 objective)."""
+        return float(np.abs(self.inputs).sum())
+
+    @property
+    def skipped_steps(self) -> int:
+        """Steps where the controller computation was skipped."""
+        return int(np.sum(self.decisions == 0))
+
+    @property
+    def skip_rate(self) -> float:
+        """Fraction of steps skipped."""
+        return self.skipped_steps / max(self.steps, 1)
+
+    @property
+    def forced_steps(self) -> int:
+        """Steps where the monitor forced z = 1 (x ∈ XI − X')."""
+        return int(np.sum(self.forced))
+
+    @property
+    def mean_controller_time(self) -> float:
+        """Mean κ wall-clock over the steps where it actually ran."""
+        ran = self.decisions == 1
+        if not np.any(ran):
+            return 0.0
+        return float(self.controller_seconds[ran].mean())
+
+    @property
+    def mean_monitor_time(self) -> float:
+        """Mean monitor + Ω wall-clock per step."""
+        return float(self.monitor_seconds.mean())
+
+    def computation_saving(self) -> float:
+        """Sec. IV-A saving ratio for this run (see module docstring)."""
+        t_controller = self.mean_controller_time
+        if t_controller == 0.0:
+            return 0.0
+        return computation_saving(
+            t_controller, self.mean_monitor_time, self.steps, self.skipped_steps
+        )
+
+    def summary(self) -> dict:
+        """Plain-dict summary for tables and logs."""
+        return {
+            "steps": self.steps,
+            "energy_l1": self.energy,
+            "skipped": self.skipped_steps,
+            "skip_rate": self.skip_rate,
+            "forced": self.forced_steps,
+            "mean_controller_ms": 1e3 * self.mean_controller_time,
+            "mean_monitor_ms": 1e3 * self.mean_monitor_time,
+            "computation_saving": self.computation_saving(),
+        }

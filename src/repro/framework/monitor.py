@@ -1,0 +1,85 @@
+"""Runtime safety monitor (paper Fig. 2 / Algorithm 1, lines 4–9).
+
+The monitor owns the three nested sets and classifies every measured
+state:
+
+* inside ``X'``  → the skipping decision function Ω may choose freely;
+* inside ``XI − X'`` → the safe controller **must** run (``z = 1``);
+* outside ``XI`` → a contract violation: Theorem 1 says this cannot
+  happen when the initial state is in ``XI``; the monitor records it and
+  (by default) raises, because silent safety violations would invalidate
+  every downstream experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry import HPolytope
+
+__all__ = ["SafetyMonitor", "StateClass", "SafetyViolationError"]
+
+
+class SafetyViolationError(RuntimeError):
+    """The state left the robust invariant set — Theorem 1 contract broken."""
+
+
+class StateClass(Enum):
+    """Classification of a state against the nested safe sets."""
+
+    STRENGTHENED = "strengthened"  # x ∈ X'
+    INVARIANT_ONLY = "invariant_only"  # x ∈ XI − X'
+    UNSAFE_REGION = "unsafe_region"  # x ∉ XI (contract violation)
+
+
+@dataclass
+class SafetyMonitor:
+    """Classifies states against ``X' ⊆ XI ⊆ X`` and enforces z = 1
+    outside ``X'``.
+
+    Attributes:
+        strengthened_set: ``X'`` (Definition 3).
+        invariant_set: ``XI`` (Definition 1).
+        safe_set: ``X`` (problem definition); only used for reporting.
+        strict: When True (default), :meth:`classify` raises
+            :class:`SafetyViolationError` if the state leaves ``XI``.
+        tol: Membership tolerance forwarded to the polytope tests.
+    """
+
+    strengthened_set: HPolytope
+    invariant_set: HPolytope
+    safe_set: HPolytope
+    strict: bool = True
+    tol: float = 1e-7
+    violations: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if not self.invariant_set.contains_polytope(self.strengthened_set):
+            raise ValueError("X' must be a subset of XI (Definition 3)")
+        if not self.safe_set.contains_polytope(self.invariant_set, tol=1e-6):
+            raise ValueError("XI must be a subset of the safe set X")
+
+    def classify(self, state) -> StateClass:
+        """Classify ``state``; raises on contract violation when strict."""
+        if self.strengthened_set.contains(state, self.tol):
+            return StateClass.STRENGTHENED
+        if self.invariant_set.contains(state, self.tol):
+            return StateClass.INVARIANT_ONLY
+        self.violations += 1
+        if self.strict:
+            raise SafetyViolationError(
+                f"state {np.asarray(state)} left the robust invariant set"
+            )
+        return StateClass.UNSAFE_REGION
+
+    def may_skip(self, state) -> bool:
+        """Algorithm 1 line 5: True iff Ω is allowed to decide at ``state``."""
+        return self.classify(state) is StateClass.STRENGTHENED
+
+    def admissible_initial(self, state) -> bool:
+        """Algorithm 1 line 2 check: x(0) ∈ XI."""
+        return self.invariant_set.contains(state, self.tol)

@@ -1,0 +1,576 @@
+"""Convex polytopes in halfspace (H-) representation.
+
+An :class:`HPolytope` is the set ``{x in R^n : H x <= h}``.  This module is
+the geometric kernel of the library: robust invariant sets, backward
+reachable sets, tightened MPC constraints and the strengthened safe set of
+the paper are all built from the operations defined here.
+
+Every operation that needs optimisation uses LPs through
+:mod:`repro.utils.lp` (HiGHS); nothing here depends on vertex enumeration
+except :meth:`HPolytope.vertices`, which is only used for reporting,
+sampling and exact 2-D Minkowski sums.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.lp import LPError, lp_feasible, maximize, solve_lp
+from repro.utils.validation import as_matrix, as_vector
+
+__all__ = ["HPolytope", "EmptySetError"]
+
+# Default numerical tolerance for membership / containment tests.  Set
+# computations chain many LPs, so this is deliberately looser than solver
+# precision.
+DEFAULT_TOL = 1e-7
+
+
+class EmptySetError(ValueError):
+    """Raised when an operation requires a non-empty polytope."""
+
+
+class HPolytope:
+    """A convex polytope ``{x : H x <= h}`` in halfspace representation.
+
+    The representation is normalised on construction: each row of ``H`` is
+    scaled to unit Euclidean norm (together with the matching entry of
+    ``h``), and rows that are identically zero are dropped if trivially
+    satisfied (``0 <= h_i``) or flagged as infeasible otherwise.
+
+    Instances are immutable by convention: all operations return new
+    polytopes.
+
+    Attributes:
+        H: Constraint normals, shape ``(m, n)``, rows unit-norm.
+        h: Constraint offsets, shape ``(m,)``.
+        dim: Ambient dimension ``n``.
+    """
+
+    __slots__ = ("H", "h", "_vertices_cache", "_cheb_cache")
+
+    def __init__(self, H, h, normalize: bool = True):
+        H = as_matrix(H, "H")
+        h = as_vector(h, "h")
+        if H.shape[0] != h.shape[0]:
+            raise ValueError(
+                f"H has {H.shape[0]} rows but h has {h.shape[0]} entries"
+            )
+        if normalize:
+            H, h = _normalize_rows(H, h)
+        self.H = H
+        self.h = h
+        self._vertices_cache = None
+        self._cheb_cache = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_box(cls, lower, upper) -> "HPolytope":
+        """Axis-aligned box ``{x : lower <= x <= upper}``.
+
+        Raises:
+            ValueError: If any ``lower[i] > upper[i]``.
+        """
+        lower = as_vector(lower, "lower")
+        upper = as_vector(upper, "upper")
+        if lower.shape != upper.shape:
+            raise ValueError("lower and upper must have the same length")
+        if np.any(lower > upper):
+            raise ValueError("box has lower > upper in some coordinate")
+        n = lower.size
+        eye = np.eye(n)
+        H = np.vstack([eye, -eye])
+        h = np.concatenate([upper, -lower])
+        return cls(H, h)
+
+    @classmethod
+    def from_bounds(cls, bounds: Sequence[tuple]) -> "HPolytope":
+        """Box from a sequence of ``(low, high)`` pairs (one per axis)."""
+        lower = [b[0] for b in bounds]
+        upper = [b[1] for b in bounds]
+        return cls.from_box(lower, upper)
+
+    @classmethod
+    def from_vertices(cls, vertices) -> "HPolytope":
+        """Convex hull of a point set, as an H-polytope.
+
+        Uses ``scipy.spatial.ConvexHull`` for full-dimensional inputs in
+        dimension >= 2 and direct interval construction in 1-D.
+
+        Raises:
+            ValueError: If the hull is degenerate (not full-dimensional);
+                callers should bloat degenerate sets slightly instead.
+        """
+        V = as_matrix(np.atleast_2d(np.asarray(vertices, dtype=float)), "vertices")
+        n = V.shape[1]
+        if n == 1:
+            return cls.from_box([V.min()], [V.max()])
+        from scipy.spatial import ConvexHull, QhullError
+
+        try:
+            hull = ConvexHull(V)
+        except QhullError as exc:
+            raise ValueError(
+                "vertex set is degenerate (not full-dimensional); "
+                "bloat it before building an HPolytope"
+            ) from exc
+        # Qhull returns facets as [normal, offset] with normal.x + offset <= 0.
+        H = hull.equations[:, :-1]
+        h = -hull.equations[:, -1]
+        poly = cls(H, h)
+        return poly.remove_redundancies()
+
+    @classmethod
+    def singleton(cls, point, radius: float = 0.0) -> "HPolytope":
+        """Box of half-width ``radius`` centred at ``point``.
+
+        With the default radius 0 this is the degenerate singleton ``{point}``
+        (still a valid H-polytope, just not full-dimensional).
+        """
+        p = as_vector(point, "point")
+        return cls.from_box(p - radius, p + radius)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Ambient dimension ``n``."""
+        return self.H.shape[1]
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of halfspaces ``m`` in the current representation."""
+        return self.H.shape[0]
+
+    def contains(self, point, tol: float = DEFAULT_TOL) -> bool:
+        """Return True iff ``point`` satisfies every halfspace within ``tol``."""
+        x = as_vector(point, "point")
+        if x.size != self.dim:
+            raise ValueError(
+                f"point has dimension {x.size}, polytope has {self.dim}"
+            )
+        return bool(np.all(self.H @ x <= self.h + tol))
+
+    def contains_points(self, points, tol: float = DEFAULT_TOL) -> np.ndarray:
+        """Vectorised membership test for an ``(N, n)`` array of points."""
+        P = as_matrix(np.atleast_2d(np.asarray(points, dtype=float)), "points")
+        return np.all(P @ self.H.T <= self.h + tol, axis=1)
+
+    def violation(self, point) -> float:
+        """Largest constraint violation at ``point`` (<= 0 means inside)."""
+        x = as_vector(point, "point")
+        return float(np.max(self.H @ x - self.h))
+
+    def is_empty(self, tol: float = DEFAULT_TOL) -> bool:
+        """True iff the polytope has no point (within ``tol`` slack)."""
+        return not lp_feasible(self.H, self.h + tol)
+
+    def is_bounded(self) -> bool:
+        """True iff the polytope is bounded (support finite along +/- axes)."""
+        for i in range(self.dim):
+            direction = np.zeros(self.dim)
+            for sign in (1.0, -1.0):
+                direction[i] = sign
+                try:
+                    self.support(direction)
+                except LPError:
+                    return False
+            direction[i] = 0.0
+        return True
+
+    def support(self, direction) -> float:
+        """Support function ``h_P(a) = max {a.x : x in P}``.
+
+        Raises:
+            repro.utils.lp.LPError: If the polytope is empty or unbounded
+                in ``direction``.
+        """
+        a = as_vector(direction, "direction")
+        return maximize(a, self.H, self.h).value
+
+    def support_point(self, direction) -> np.ndarray:
+        """An argmax of the support function in ``direction``."""
+        a = as_vector(direction, "direction")
+        return maximize(a, self.H, self.h).x
+
+    def chebyshev_center(self) -> tuple:
+        """Centre and radius of the largest inscribed ball.
+
+        Returns:
+            ``(center, radius)``.  ``radius < 0`` implies emptiness.
+
+        Raises:
+            EmptySetError: If the LP itself is infeasible (empty interior
+                and empty set).
+        """
+        if self._cheb_cache is not None:
+            return self._cheb_cache
+        m, n = self.H.shape
+        # Variables: (x, r); maximise r s.t. Hx + ||H_i|| r <= h.  Rows are
+        # unit-norm after construction, so the coefficient on r is 1.
+        c = np.zeros(n + 1)
+        c[-1] = -1.0
+        A = np.hstack([self.H, np.ones((m, 1))])
+        try:
+            sol = solve_lp(c, a_ub=A, b_ub=self.h)
+        except LPError as exc:
+            raise EmptySetError(f"Chebyshev LP infeasible: {exc}") from exc
+        center = sol.x[:-1]
+        radius = sol.x[-1]
+        self._cheb_cache = (center, float(radius))
+        return self._cheb_cache
+
+    def contains_polytope(self, other: "HPolytope", tol: float = DEFAULT_TOL) -> bool:
+        """True iff ``other`` is a subset of ``self``.
+
+        Checked by LP: ``other ⊆ self`` iff for every halfspace ``(a, b)``
+        of ``self``, the support of ``other`` in direction ``a`` is at most
+        ``b``.  An empty ``other`` is a subset of anything.
+        """
+        if other.is_empty():
+            return True
+        for a, b in zip(self.H, self.h):
+            if other.support(a) > b + tol:
+                return False
+        return True
+
+    def equals(self, other: "HPolytope", tol: float = DEFAULT_TOL) -> bool:
+        """Mutual containment within ``tol``."""
+        return self.contains_polytope(other, tol) and other.contains_polytope(
+            self, tol
+        )
+
+    def interior_point(self, tol: float = DEFAULT_TOL) -> np.ndarray:
+        """A point in the (relative) interior — the Chebyshev centre.
+
+        Raises:
+            EmptySetError: If the set is empty.
+        """
+        center, radius = self.chebyshev_center()
+        if radius < -tol:
+            raise EmptySetError("polytope is empty")
+        return center
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+    def intersect(self, other: "HPolytope") -> "HPolytope":
+        """Intersection (stack the halfspaces of both polytopes)."""
+        if other.dim != self.dim:
+            raise ValueError("dimension mismatch in intersection")
+        return HPolytope(
+            np.vstack([self.H, other.H]), np.concatenate([self.h, other.h])
+        )
+
+    def translate(self, offset) -> "HPolytope":
+        """Translate by ``offset``: ``{x + offset : x in P}``."""
+        t = as_vector(offset, "offset")
+        return HPolytope(self.H, self.h + self.H @ t, normalize=False)
+
+    def scale(self, factor: float) -> "HPolytope":
+        """Scale about the origin by ``factor > 0``: ``{factor * x : x in P}``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return HPolytope(self.H, self.h * factor, normalize=False)
+
+    def pontryagin_difference(self, other: "HPolytope") -> "HPolytope":
+        """Pontryagin (Minkowski) difference ``P ⊖ Q = {x : x + Q ⊆ P}``.
+
+        Exact in H-representation: each offset shrinks by the support of
+        ``Q`` in the facet-normal direction.
+        """
+        if other.dim != self.dim:
+            raise ValueError("dimension mismatch in Pontryagin difference")
+        shrink = np.array([other.support(a) for a in self.H])
+        return HPolytope(self.H, self.h - shrink, normalize=False)
+
+    def minkowski_sum(self, other: "HPolytope") -> "HPolytope":
+        """Minkowski sum ``P ⊕ Q``.
+
+        In 1-D and 2-D the result is exact, computed as the convex hull of
+        pairwise vertex sums.  In higher dimension we fall back to the
+        support-function outer approximation on the union of both normal
+        sets; that is a tight outer approximation (exact whenever the sum's
+        normal fan is covered by the operands' normals, e.g. for boxes).
+        """
+        if other.dim != self.dim:
+            raise ValueError("dimension mismatch in Minkowski sum")
+        if self.dim <= 2:
+            V = self.vertices()
+            W = other.vertices()
+            sums = (V[:, None, :] + W[None, :, :]).reshape(-1, self.dim)
+            if self.dim == 1:
+                return HPolytope.from_box([sums.min()], [sums.max()])
+            spread = sums.max(axis=0) - sums.min(axis=0)
+            if np.any(spread < 1e-12):
+                # Degenerate (flat) sum: return a thin box around it.
+                return HPolytope.from_box(sums.min(axis=0), sums.max(axis=0))
+            return HPolytope.from_vertices(sums)
+        normals = np.vstack([self.H, other.H])
+        offsets = np.array(
+            [self.support(a) + other.support(a) for a in normals]
+        )
+        return HPolytope(normals, offsets).remove_redundancies()
+
+    def linear_preimage(self, A, offset=None) -> "HPolytope":
+        """Preimage under an affine map: ``{x : A x + offset ∈ P}``.
+
+        Exact for any matrix ``A`` (square or not, singular or not) because
+        the halfspaces compose: ``H (A x + t) <= h`` is ``(H A) x <= h - H t``.
+        """
+        A = as_matrix(A, "A")
+        if A.shape[0] != self.dim:
+            raise ValueError(
+                f"map output dimension {A.shape[0]} != polytope dimension {self.dim}"
+            )
+        h = self.h.copy()
+        if offset is not None:
+            t = as_vector(offset, "offset")
+            h = h - self.H @ t
+        return HPolytope(self.H @ A, h)
+
+    def linear_image(self, A) -> "HPolytope":
+        """Image under ``x -> A x``.
+
+        Exact for invertible ``A`` (via the preimage of the inverse).  For
+        non-square or singular maps with output dimension <= 2 the image is
+        built exactly from mapped vertices; otherwise a ValueError is
+        raised (the library never needs that case).
+        """
+        A = as_matrix(A, "A")
+        if A.shape[1] != self.dim:
+            raise ValueError(
+                f"map input dimension {A.shape[1]} != polytope dimension {self.dim}"
+            )
+        if A.shape[0] == A.shape[1]:
+            det = np.linalg.det(A)
+            if abs(det) > 1e-12:
+                return HPolytope(self.H @ np.linalg.inv(A), self.h)
+        if A.shape[0] <= 2:
+            V = self.vertices() @ A.T
+            if A.shape[0] == 1:
+                return HPolytope.from_box([V.min()], [V.max()])
+            return HPolytope.from_vertices(V)
+        raise ValueError(
+            "linear_image requires an invertible map or output dimension <= 2"
+        )
+
+    def remove_redundancies(self, tol: float = 1e-9) -> "HPolytope":
+        """Return an irredundant representation of the same set.
+
+        A halfspace is redundant iff maximising its normal over the
+        remaining constraints (with the row itself relaxed) cannot exceed
+        its offset.  Duplicate rows are collapsed first to keep the LP
+        count down.
+        """
+        H, h = _dedupe_rows(self.H, self.h)
+        keep = np.ones(len(h), dtype=bool)
+        for i in range(len(h)):
+            if not keep[i]:
+                continue
+            mask = keep.copy()
+            mask[i] = False
+            if not np.any(mask):
+                continue
+            try:
+                value = maximize(H[i], H[mask], h[mask]).value
+            except LPError:
+                # Unbounded without this row: the row is essential.
+                continue
+            if value <= h[i] + tol:
+                keep[i] = False
+        if np.all(keep):
+            return HPolytope(H, h, normalize=False)
+        return HPolytope(H[keep], h[keep], normalize=False)
+
+    def bounding_box(self) -> tuple:
+        """Tight axis-aligned bounding box ``(lower, upper)``.
+
+        Raises:
+            repro.utils.lp.LPError: If unbounded or empty.
+        """
+        lower = np.empty(self.dim)
+        upper = np.empty(self.dim)
+        for i in range(self.dim):
+            e = np.zeros(self.dim)
+            e[i] = 1.0
+            upper[i] = self.support(e)
+            lower[i] = -self.support(-e)
+        return lower, upper
+
+    # ------------------------------------------------------------------
+    # Vertices and sampling
+    # ------------------------------------------------------------------
+    def vertices(self) -> np.ndarray:
+        """Vertex enumeration, shape ``(k, n)``.
+
+        Uses ``scipy.spatial.HalfspaceIntersection`` seeded with the
+        Chebyshev centre.  For (near-)degenerate polytopes whose Chebyshev
+        radius is ~0 the halfspace intersection is ill-posed; we then fall
+        back to pairwise facet intersection (exact for n <= 2).
+
+        Raises:
+            EmptySetError: If the polytope is empty.
+        """
+        if self._vertices_cache is not None:
+            return self._vertices_cache
+        center, radius = self.chebyshev_center()
+        if radius < -DEFAULT_TOL:
+            raise EmptySetError("cannot enumerate vertices of an empty set")
+        if self.dim == 1:
+            lo = -self.support(np.array([-1.0]))
+            hi = self.support(np.array([1.0]))
+            verts = np.array([[lo], [hi]])
+        elif radius > 1e-9:
+            from scipy.spatial import HalfspaceIntersection
+
+            halfspaces = np.hstack([self.H, -self.h[:, None]])
+            hs = HalfspaceIntersection(halfspaces, center)
+            verts = _unique_rows(hs.intersections)
+        elif self.dim == 2:
+            verts = self._vertices_by_facet_pairs()
+        else:
+            raise EmptySetError(
+                "degenerate polytope in dimension > 2: vertex enumeration "
+                "unsupported (bloat the set first)"
+            )
+        self._vertices_cache = verts
+        return verts
+
+    def _vertices_by_facet_pairs(self) -> np.ndarray:
+        """Exact 2-D vertex enumeration by intersecting facet pairs."""
+        points = []
+        m = self.num_constraints
+        for i in range(m):
+            for j in range(i + 1, m):
+                A = np.vstack([self.H[i], self.H[j]])
+                if abs(np.linalg.det(A)) < 1e-12:
+                    continue
+                p = np.linalg.solve(A, np.array([self.h[i], self.h[j]]))
+                if self.contains(p, tol=1e-7):
+                    points.append(p)
+        if not points:
+            raise EmptySetError("no vertices found (empty or unbounded set)")
+        return _unique_rows(np.array(points))
+
+    def sample(self, rng: np.random.Generator, count: int = 1, max_tries: int = 10000) -> np.ndarray:
+        """Uniform-ish samples by rejection from the bounding box.
+
+        Adequate for well-conditioned sets (the ACC sets are).  Falls back
+        to returning Chebyshev-centre-biased points if rejection stalls.
+
+        Returns:
+            Array of shape ``(count, n)``.
+        """
+        lower, upper = self.bounding_box()
+        out = np.empty((count, self.dim))
+        filled = 0
+        tries = 0
+        while filled < count and tries < max_tries:
+            batch = rng.uniform(lower, upper, size=(count * 4, self.dim))
+            inside = self.contains_points(batch)
+            good = batch[inside]
+            take = min(len(good), count - filled)
+            out[filled : filled + take] = good[:take]
+            filled += take
+            tries += 1
+        if filled < count:
+            # Thin set: blend bounding-box samples toward the centre.
+            center, _ = self.chebyshev_center()
+            while filled < count:
+                point = rng.uniform(lower, upper)
+                lam = 1.0
+                for _ in range(60):
+                    candidate = center + lam * (point - center)
+                    if self.contains(candidate):
+                        out[filled] = candidate
+                        break
+                    lam *= 0.5
+                else:
+                    out[filled] = center
+                filled += 1
+        return out
+
+    def volume(self) -> float:
+        """Volume via Qhull on the vertex set (exact for bounded sets)."""
+        from scipy.spatial import ConvexHull
+
+        verts = self.vertices()
+        if verts.shape[0] <= self.dim:
+            return 0.0
+        try:
+            return float(ConvexHull(verts).volume)
+        except Exception:
+            return 0.0
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __contains__(self, point) -> bool:
+        return self.contains(point)
+
+    def __and__(self, other: "HPolytope") -> "HPolytope":
+        return self.intersect(other)
+
+    def __add__(self, other):
+        if isinstance(other, HPolytope):
+            return self.minkowski_sum(other)
+        return self.translate(other)
+
+    def __sub__(self, other):
+        if isinstance(other, HPolytope):
+            return self.pontryagin_difference(other)
+        return self.translate(-np.asarray(other, dtype=float))
+
+    def __mul__(self, factor: float) -> "HPolytope":
+        return self.scale(float(factor))
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:
+        return f"HPolytope(dim={self.dim}, constraints={self.num_constraints})"
+
+
+def _normalize_rows(H: np.ndarray, h: np.ndarray) -> tuple:
+    """Unit-normalise constraint rows, dropping trivially true zero rows."""
+    norms = np.linalg.norm(H, axis=1)
+    zero = norms < 1e-14
+    if np.any(zero):
+        bad = zero & (h < -1e-12)
+        if np.any(bad):
+            raise ValueError("constraint 0.x <= h with h < 0 (empty by construction)")
+        H = H[~zero]
+        h = h[~zero]
+        norms = norms[~zero]
+    if H.shape[0] == 0:
+        raise ValueError("polytope needs at least one non-trivial constraint")
+    return H / norms[:, None], h / norms
+
+
+def _dedupe_rows(H: np.ndarray, h: np.ndarray, tol: float = 1e-10) -> tuple:
+    """Collapse duplicate normals, keeping the tightest offset for each."""
+    keep_H = []
+    keep_h = []
+    for a, b in zip(H, h):
+        for idx, existing in enumerate(keep_H):
+            if np.allclose(existing, a, atol=tol):
+                keep_h[idx] = min(keep_h[idx], b)
+                break
+        else:
+            keep_H.append(a.copy())
+            keep_h.append(b)
+    return np.array(keep_H), np.array(keep_h)
+
+
+def _unique_rows(arr: np.ndarray, tol: float = 1e-8) -> np.ndarray:
+    """Deduplicate rows of ``arr`` up to ``tol`` (order-preserving)."""
+    out: list = []
+    for row in arr:
+        if not any(np.allclose(row, prev, atol=tol) for prev in out):
+            out.append(row)
+    return np.array(out)

@@ -1,0 +1,135 @@
+"""Empirical invariance verification for *arbitrary* controllers.
+
+The LP certificates in :mod:`repro.invariance.rci` cover linear feedback
+and existentially-quantified inputs.  For a nonlinear controller such as
+the RMPC (piecewise affine through the LP solution map), exact
+invariance checking would require explicit-MPC region enumeration;
+instead this module provides the falsification-style empirical
+certificate used by the test-suite and recommended before deploying a
+monitor with a set whose invariance is only asserted on paper:
+
+* sample states from the candidate set (boundary-biased, since
+  invariance violations live at the boundary);
+* apply the actual controller;
+* check the worst-case successor over the disturbance polytope's
+  vertices (for additive polytopic disturbances the worst case is at a
+  vertex because membership constraints are affine in w).
+
+A returned :class:`VerificationReport` with ``violations == 0`` is
+evidence, not proof; a non-empty report is a *proof of non-invariance*,
+including concrete counterexamples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.geometry import HPolytope
+from repro.systems.lti import DiscreteLTISystem
+
+__all__ = ["VerificationReport", "verify_invariance_under_controller"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of an empirical invariance check.
+
+    Attributes:
+        samples: Number of states tested.
+        violations: Number of (state, disturbance-vertex) pairs whose
+            successor left the candidate set.
+        counterexamples: Up to ``max_counterexamples`` offending tuples
+            ``(state, disturbance, successor)``.
+        worst_violation: Largest successor constraint violation seen
+            (<= 0 when no violation).
+    """
+
+    samples: int
+    violations: int
+    counterexamples: list = field(default_factory=list)
+    worst_violation: float = -np.inf
+
+    @property
+    def passed(self) -> bool:
+        """True iff no counterexample was found."""
+        return self.violations == 0
+
+
+def _boundary_biased_samples(
+    candidate: HPolytope, rng: np.random.Generator, count: int
+) -> np.ndarray:
+    """Half uniform samples, half pushed toward the boundary.
+
+    Boundary points are built by ray-casting from the Chebyshev centre
+    through uniform samples to the set's surface, then pulling back a
+    hair so membership is unambiguous.
+    """
+    uniform = candidate.sample(rng, count - count // 2)
+    center, _ = candidate.chebyshev_center()
+    rays = candidate.sample(rng, count // 2)
+    boundary = []
+    for point in rays:
+        direction = point - center
+        norm = np.linalg.norm(direction)
+        if norm < 1e-12:
+            boundary.append(point)
+            continue
+        direction = direction / norm
+        # Max step until some constraint becomes active.
+        steps = []
+        for a, b in zip(candidate.H, candidate.h):
+            rate = float(a @ direction)
+            if rate > 1e-12:
+                steps.append((b - float(a @ center)) / rate)
+        scale = min(steps) if steps else 0.0
+        boundary.append(center + 0.999 * scale * direction)
+    return np.vstack([uniform, np.array(boundary)])
+
+
+def verify_invariance_under_controller(
+    system: DiscreteLTISystem,
+    controller: Callable[[np.ndarray], np.ndarray],
+    candidate: HPolytope,
+    rng: np.random.Generator,
+    samples: int = 200,
+    tol: float = 1e-6,
+    max_counterexamples: int = 10,
+) -> VerificationReport:
+    """Empirically check that ``candidate`` is robustly positively
+    invariant under ``x⁺ = A x + B κ(x) + w`` for all ``w ∈ W``.
+
+    Args:
+        system: The plant (provides A, B and the disturbance set W).
+        controller: The actual control law κ (may be nonlinear, e.g. an
+            RMPC ``compute`` method).
+        candidate: The set whose invariance is being checked.
+        rng: Randomness for the state sampling.
+        samples: Number of states to test (half boundary-biased).
+        tol: Successor membership tolerance.
+        max_counterexamples: Cap on stored offending tuples.
+
+    Returns:
+        A :class:`VerificationReport`.
+    """
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    states = _boundary_biased_samples(candidate, rng, samples)
+    w_vertices = system.disturbance_set.vertices()
+    report = VerificationReport(samples=len(states), violations=0)
+    for state in states:
+        control = np.asarray(controller(state), dtype=float)
+        nominal_next = system.A @ state + system.B @ control
+        for w in w_vertices:
+            successor = nominal_next + w
+            violation = candidate.violation(successor)
+            report.worst_violation = max(report.worst_violation, violation)
+            if violation > tol:
+                report.violations += 1
+                if len(report.counterexamples) < max_counterexamples:
+                    report.counterexamples.append(
+                        (state.copy(), w.copy(), successor.copy())
+                    )
+    return report

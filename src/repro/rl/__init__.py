@@ -1,0 +1,23 @@
+"""Numpy reinforcement-learning substrate: MLP, Adam, replay, double DQN."""
+
+from repro.rl.dqn import DQNConfig, DoubleDQNAgent
+from repro.rl.network import MLP
+from repro.rl.optim import Adam
+from repro.rl.replay import Batch, ReplayBuffer
+from repro.rl.schedule import ConstantSchedule, ExponentialSchedule, LinearSchedule
+from repro.rl.training import Environment, TrainingHistory, train_dqn
+
+__all__ = [
+    "MLP",
+    "Adam",
+    "ReplayBuffer",
+    "Batch",
+    "DoubleDQNAgent",
+    "DQNConfig",
+    "LinearSchedule",
+    "ExponentialSchedule",
+    "ConstantSchedule",
+    "train_dqn",
+    "TrainingHistory",
+    "Environment",
+]

@@ -1,0 +1,115 @@
+"""Minimal feed-forward neural network with manual backpropagation.
+
+No deep-learning framework is available offline, so the double-DQN agent
+runs on this numpy implementation: fully-connected layers with ReLU hidden
+activations and a linear head, He initialisation, and exact gradients for
+a loss specified as ``dL/dy`` on the outputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["MLP"]
+
+
+class MLP:
+    """Multi-layer perceptron ``R^in → R^out`` with ReLU hidden layers.
+
+    Args:
+        layer_sizes: E.g. ``[4, 64, 64, 2]`` — input, hidden…, output.
+        rng: Generator for reproducible He-initialised weights.
+
+    The parameter list alternates ``[W1, b1, W2, b2, …]``; gradients from
+    :meth:`backward` use the same layout, which keeps the optimiser
+    trivially generic.
+    """
+
+    def __init__(self, layer_sizes: Sequence[int], rng: np.random.Generator):
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        self.layer_sizes = list(int(s) for s in layer_sizes)
+        self.params: List[np.ndarray] = []
+        for fan_in, fan_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.params.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.params.append(np.zeros(fan_out))
+        self._cache: List[np.ndarray] = []
+
+    @property
+    def num_layers(self) -> int:
+        """Number of affine layers."""
+        return len(self.params) // 2
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        """Forward pass for a batch ``(B, in)`` (1-D inputs are promoted).
+
+        With ``train=True`` the activations are cached for
+        :meth:`backward`.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        cache = [x]
+        h = x
+        for layer in range(self.num_layers):
+            W = self.params[2 * layer]
+            b = self.params[2 * layer + 1]
+            h = h @ W + b
+            if layer < self.num_layers - 1:
+                h = np.maximum(h, 0.0)
+            cache.append(h)
+        if train:
+            self._cache = cache
+        return h
+
+    def backward(self, grad_output: np.ndarray) -> List[np.ndarray]:
+        """Gradients of the loss w.r.t. every parameter.
+
+        Args:
+            grad_output: ``dL/dy`` for the last :meth:`forward`
+                call made with ``train=True``, shape ``(B, out)``.
+
+        Returns:
+            List of gradients matching :attr:`params` layout.
+        """
+        if not self._cache:
+            raise RuntimeError("call forward(..., train=True) before backward")
+        grads: List[np.ndarray] = [None] * len(self.params)
+        delta = np.asarray(grad_output, dtype=float)
+        for layer in reversed(range(self.num_layers)):
+            inputs = self._cache[layer]
+            if layer < self.num_layers - 1:
+                # ReLU mask of this layer's *output* activation.
+                delta = delta * (self._cache[layer + 1] > 0.0)
+            grads[2 * layer] = inputs.T @ delta
+            grads[2 * layer + 1] = delta.sum(axis=0)
+            if layer > 0:
+                delta = delta @ self.params[2 * layer].T
+        return grads
+
+    def copy_from(self, other: "MLP") -> None:
+        """Hard-copy parameters from ``other`` (target-network sync)."""
+        if other.layer_sizes != self.layer_sizes:
+            raise ValueError("architecture mismatch")
+        for mine, theirs in zip(self.params, other.params):
+            np.copyto(mine, theirs)
+
+    def soft_update_from(self, other: "MLP", tau: float) -> None:
+        """Polyak averaging: ``θ ← (1 − τ) θ + τ θ_other``."""
+        if not 0.0 < tau <= 1.0:
+            raise ValueError("tau must be in (0, 1]")
+        for mine, theirs in zip(self.params, other.params):
+            mine *= 1.0 - tau
+            mine += tau * theirs
+
+    def state_dict(self) -> list:
+        """Deep copy of all parameters (checkpointing)."""
+        return [p.copy() for p in self.params]
+
+    def load_state_dict(self, state: list) -> None:
+        """Restore parameters saved by :meth:`state_dict`."""
+        if len(state) != len(self.params):
+            raise ValueError("state length mismatch")
+        for mine, saved in zip(self.params, state):
+            np.copyto(mine, saved)

@@ -1,0 +1,62 @@
+"""Adam optimiser for the numpy MLP."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Standard Adam (Kingma & Ba 2015) over a parameter list.
+
+    Args:
+        params: The *live* parameter arrays (updated in place).
+        lr: Learning rate.
+        beta1: First-moment decay.
+        beta2: Second-moment decay.
+        eps: Numerical floor.
+        grad_clip: Optional global-norm clip applied before the update —
+            DQN targets are non-stationary, so clipping keeps early
+            training from blowing up.
+    """
+
+    def __init__(
+        self,
+        params: List[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        grad_clip: float = 10.0,
+    ):
+        self.params = params
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.grad_clip = grad_clip
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self, grads: List[np.ndarray]) -> None:
+        """Apply one Adam update given gradients matching the params."""
+        if len(grads) != len(self.params):
+            raise ValueError("gradient/parameter count mismatch")
+        if self.grad_clip is not None:
+            total = np.sqrt(sum(float(np.sum(g * g)) for g in grads))
+            if total > self.grad_clip and total > 0.0:
+                scale = self.grad_clip / total
+                grads = [g * scale for g in grads]
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

@@ -1,0 +1,79 @@
+"""Uniform experience replay buffer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReplayBuffer", "Batch"]
+
+
+@dataclass
+class Batch:
+    """A sampled mini-batch of transitions (arrays share the batch axis)."""
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_states: np.ndarray
+    dones: np.ndarray
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer of ``(s, a, r, s', done)`` transitions.
+
+    Storage is pre-allocated on the first :meth:`push`, so sampling never
+    allocates beyond the batch arrays.
+    """
+
+    def __init__(self, capacity: int, rng: np.random.Generator):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.rng = rng
+        self._states = None
+        self._actions = None
+        self._rewards = None
+        self._next_states = None
+        self._dones = None
+        self._size = 0
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, state, action: int, reward: float, next_state, done: bool) -> None:
+        """Append one transition, overwriting the oldest when full."""
+        state = np.asarray(state, dtype=float)
+        next_state = np.asarray(next_state, dtype=float)
+        if self._states is None:
+            dim = state.size
+            self._states = np.empty((self.capacity, dim))
+            self._actions = np.empty(self.capacity, dtype=int)
+            self._rewards = np.empty(self.capacity)
+            self._next_states = np.empty((self.capacity, dim))
+            self._dones = np.empty(self.capacity, dtype=bool)
+        i = self._cursor
+        self._states[i] = state
+        self._actions[i] = int(action)
+        self._rewards[i] = float(reward)
+        self._next_states[i] = next_state
+        self._dones[i] = bool(done)
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> Batch:
+        """Uniformly sample ``batch_size`` transitions (with replacement
+        only when the buffer is smaller than the batch)."""
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        replace = self._size < batch_size
+        idx = self.rng.choice(self._size, size=batch_size, replace=replace)
+        return Batch(
+            states=self._states[idx].copy(),
+            actions=self._actions[idx].copy(),
+            rewards=self._rewards[idx].copy(),
+            next_states=self._next_states[idx].copy(),
+            dones=self._dones[idx].copy(),
+        )

@@ -1,0 +1,46 @@
+"""Exploration-rate schedules for ε-greedy action selection."""
+
+from __future__ import annotations
+
+__all__ = ["LinearSchedule", "ExponentialSchedule", "ConstantSchedule"]
+
+
+class ConstantSchedule:
+    """ε fixed at ``value`` forever."""
+
+    def __init__(self, value: float):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.value = float(value)
+
+    def __call__(self, step: int) -> float:
+        return self.value
+
+
+class LinearSchedule:
+    """Linear anneal from ``start`` to ``end`` over ``duration`` steps."""
+
+    def __init__(self, start: float, end: float, duration: int):
+        if duration < 1:
+            raise ValueError("duration must be >= 1")
+        self.start = float(start)
+        self.end = float(end)
+        self.duration = int(duration)
+
+    def __call__(self, step: int) -> float:
+        frac = min(max(step, 0) / self.duration, 1.0)
+        return self.start + frac * (self.end - self.start)
+
+
+class ExponentialSchedule:
+    """Exponential decay ``end + (start − end) · decay^step``."""
+
+    def __init__(self, start: float, end: float, decay: float):
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        self.start = float(start)
+        self.end = float(end)
+        self.decay = float(decay)
+
+    def __call__(self, step: int) -> float:
+        return self.end + (self.start - self.end) * (self.decay ** max(step, 0))

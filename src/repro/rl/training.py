@@ -1,0 +1,115 @@
+"""Episodic training loop for the double-DQN agent.
+
+Environments follow a minimal gym-like protocol (``reset() -> obs`` and
+``step(action) -> (obs, reward, done, info)``); the ACC skipping
+environment in :mod:`repro.acc.env` implements it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+import numpy as np
+
+from repro.rl.dqn import DoubleDQNAgent
+from repro.rl.schedule import LinearSchedule
+
+__all__ = ["Environment", "TrainingHistory", "train_dqn"]
+
+
+class Environment(Protocol):
+    """Minimal episodic environment protocol."""
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode and return the initial observation."""
+        ...
+
+    def step(self, action: int) -> tuple:
+        """Apply ``action``; return ``(obs, reward, done, info)``."""
+        ...
+
+
+@dataclass
+class TrainingHistory:
+    """Per-episode training diagnostics.
+
+    Attributes:
+        returns: Undiscounted episode returns.
+        losses: Mean TD loss per episode (NaN before learning starts).
+        epsilons: ε used at the start of each episode.
+    """
+
+    returns: list = field(default_factory=list)
+    losses: list = field(default_factory=list)
+    epsilons: list = field(default_factory=list)
+
+    @property
+    def episodes(self) -> int:
+        return len(self.returns)
+
+    def moving_average(self, window: int = 10) -> np.ndarray:
+        """Smoothed returns for convergence reporting."""
+        r = np.asarray(self.returns, dtype=float)
+        if r.size == 0:
+            return r
+        window = min(window, r.size)
+        kernel = np.ones(window) / window
+        return np.convolve(r, kernel, mode="valid")
+
+
+def train_dqn(
+    agent: DoubleDQNAgent,
+    env: Environment,
+    episodes: int,
+    max_steps: int = 100,
+    epsilon_schedule: Optional[Callable[[int], float]] = None,
+    updates_per_step: int = 1,
+    callback: Optional[Callable[[int, float], None]] = None,
+) -> TrainingHistory:
+    """Train ``agent`` on ``env`` for a fixed number of episodes.
+
+    Args:
+        agent: The double-DQN agent (modified in place).
+        env: Episodic environment.
+        episodes: Number of training episodes.
+        max_steps: Step cap per episode (the paper simulates 100 steps).
+        epsilon_schedule: ``step -> ε``; defaults to a linear anneal from
+            1.0 to 0.05 over the first 60% of total steps.
+        updates_per_step: Gradient updates per environment step.
+        callback: Optional ``(episode, episode_return)`` hook.
+
+    Returns:
+        A :class:`TrainingHistory`.
+    """
+    if episodes < 1:
+        raise ValueError("episodes must be >= 1")
+    if epsilon_schedule is None:
+        total = max(int(episodes * max_steps * 0.6), 1)
+        epsilon_schedule = LinearSchedule(1.0, 0.05, total)
+    history = TrainingHistory()
+    global_step = 0
+    for episode in range(episodes):
+        obs = env.reset()
+        episode_return = 0.0
+        losses = []
+        history.epsilons.append(epsilon_schedule(global_step))
+        for _ in range(max_steps):
+            epsilon = epsilon_schedule(global_step)
+            action = agent.act(obs, epsilon)
+            next_obs, reward, done, _info = env.step(action)
+            agent.remember(obs, action, reward, next_obs, done)
+            for _ in range(updates_per_step):
+                loss = agent.update()
+                if loss is not None:
+                    losses.append(loss)
+            obs = next_obs
+            episode_return += float(reward)
+            global_step += 1
+            if done:
+                break
+        history.returns.append(episode_return)
+        history.losses.append(float(np.mean(losses)) if losses else float("nan"))
+        if callback is not None:
+            callback(episode, episode_return)
+    return history

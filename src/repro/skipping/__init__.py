@@ -1,0 +1,35 @@
+"""Skipping decision functions Ω (paper Sec. III-B)."""
+
+from repro.skipping.base import (
+    RUN,
+    SKIP,
+    AlwaysRunPolicy,
+    AlwaysSkipPolicy,
+    DecisionContext,
+    SkippingPolicy,
+)
+from repro.skipping.drl import DRLSkippingPolicy, build_observation
+from repro.skipping.heuristics import (
+    MarginThresholdPolicy,
+    PeriodicSkipPolicy,
+    RandomSkipPolicy,
+)
+from repro.skipping.model_based import ExhaustiveSkippingPolicy, MILPSkippingPolicy
+from repro.skipping.weakly_hard import WeaklyHardPolicy
+
+__all__ = [
+    "WeaklyHardPolicy",
+    "RUN",
+    "SKIP",
+    "SkippingPolicy",
+    "DecisionContext",
+    "AlwaysRunPolicy",
+    "AlwaysSkipPolicy",
+    "PeriodicSkipPolicy",
+    "RandomSkipPolicy",
+    "MarginThresholdPolicy",
+    "MILPSkippingPolicy",
+    "ExhaustiveSkippingPolicy",
+    "DRLSkippingPolicy",
+    "build_observation",
+]

@@ -1,0 +1,86 @@
+"""Skipping decision function Ω interface (paper Sec. III-B).
+
+At every step where the monitor allows it (``x ∈ X'``), the framework asks
+a :class:`SkippingPolicy` for the binary choice ``z``:
+
+* ``z = 1`` — run the safe controller κ and actuate its output;
+* ``z = 0`` — skip the computation and apply the (zero) skip input.
+
+Policies receive a :class:`DecisionContext` carrying the current state,
+the recent disturbance history (the paper's ``w̄(t)`` with memory length
+``r``) and — for the model-based optimiser — the known future disturbance
+when the environment is predictable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DecisionContext", "SkippingPolicy", "AlwaysRunPolicy", "AlwaysSkipPolicy"]
+
+RUN = 1
+SKIP = 0
+
+
+@dataclass
+class DecisionContext:
+    """Everything a skipping policy may condition on at step ``t``.
+
+    Attributes:
+        time: Current step index ``t``.
+        state: Measured state ``x(t)``.
+        past_disturbances: ``(r, n)`` array of the most recent observed
+            disturbances ``w(t−r+1) … w(t)``, zero-padded at the start of
+            a run.  ``w(t)`` is included because in the paper's ACC the
+            disturbance is the (radar-observable) front-vehicle velocity.
+        future_disturbances: ``(H, n)`` known upcoming disturbances, or
+            None when the environment is not predictable (the DRL case).
+    """
+
+    time: int
+    state: np.ndarray
+    past_disturbances: np.ndarray
+    future_disturbances: Optional[np.ndarray] = None
+
+
+class SkippingPolicy(ABC):
+    """Interface for the decision function Ω."""
+
+    @abstractmethod
+    def decide(self, context: DecisionContext) -> int:
+        """Return 1 to run the controller, 0 to skip."""
+
+    def observe(
+        self,
+        context: DecisionContext,
+        decision: int,
+        forced: bool,
+        next_state: np.ndarray,
+        applied_input: np.ndarray,
+    ) -> None:
+        """Hook called after every transition (for online learners)."""
+
+    def reset(self) -> None:
+        """Clear per-episode internal state."""
+
+
+class AlwaysRunPolicy(SkippingPolicy):
+    """Ω ≡ 1: never skip (the RMPC-only baseline inside the framework)."""
+
+    def decide(self, context: DecisionContext) -> int:
+        return RUN
+
+
+class AlwaysSkipPolicy(SkippingPolicy):
+    """Ω ≡ 0: the bang-bang scheme of Eq. (7).
+
+    Combined with the monitor this *is* the paper's bang-bang baseline:
+    zero input whenever ``x ∈ X'``, κ whenever the monitor forces it.
+    """
+
+    def decide(self, context: DecisionContext) -> int:
+        return SKIP

@@ -1,0 +1,84 @@
+"""DRL-based skipping decision function (paper Sec. III-B.2).
+
+Wraps a trained :class:`~repro.rl.dqn.DoubleDQNAgent` as a
+:class:`~repro.skipping.base.SkippingPolicy`.  The agent's observation is
+the paper's DRL state ``s(t) = {x(t), w(t−r+1), …, w(t)}``, optionally
+normalised by per-component scales so the network sees O(1) features.
+
+The disturbance components exposed to the agent can be restricted (the
+ACC disturbance is 2-D in state space but only its first component
+carries information), via ``disturbance_components``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.rl.dqn import DoubleDQNAgent
+from repro.skipping.base import RUN, SKIP, DecisionContext, SkippingPolicy
+
+__all__ = ["DRLSkippingPolicy", "build_observation"]
+
+
+def build_observation(
+    state: np.ndarray,
+    past_disturbances: np.ndarray,
+    state_scale: np.ndarray,
+    disturbance_scale: float,
+    disturbance_components: Sequence[int],
+) -> np.ndarray:
+    """Assemble and normalise the DRL observation vector.
+
+    Layout: ``[x / state_scale, w_hist[:, components].ravel() / w_scale]``.
+    """
+    x = np.asarray(state, dtype=float) / state_scale
+    w = np.atleast_2d(past_disturbances)[:, list(disturbance_components)]
+    return np.concatenate([x, w.reshape(-1) / disturbance_scale])
+
+
+class DRLSkippingPolicy(SkippingPolicy):
+    """Ω implemented by a (trained) double-DQN agent.
+
+    Args:
+        agent: The agent; action 0 = skip, action 1 = run (matching the
+            paper's ``z``).
+        state_scale: Per-component normalisation of the plant state.
+        disturbance_scale: Scalar normalisation of disturbance entries.
+        disturbance_components: Which disturbance components enter the
+            observation (default: component 0 only).
+        epsilon: Exploration rate at decision time (0 for evaluation).
+    """
+
+    def __init__(
+        self,
+        agent: DoubleDQNAgent,
+        state_scale,
+        disturbance_scale: float = 1.0,
+        disturbance_components: Sequence[int] = (0,),
+        epsilon: float = 0.0,
+    ):
+        self.agent = agent
+        self.state_scale = np.asarray(state_scale, dtype=float)
+        if np.any(self.state_scale <= 0):
+            raise ValueError("state_scale entries must be positive")
+        self.disturbance_scale = float(disturbance_scale)
+        if self.disturbance_scale <= 0:
+            raise ValueError("disturbance_scale must be positive")
+        self.disturbance_components = tuple(disturbance_components)
+        self.epsilon = float(epsilon)
+
+    def observation(self, context: DecisionContext) -> np.ndarray:
+        """The agent's observation for this decision context."""
+        return build_observation(
+            context.state,
+            context.past_disturbances,
+            self.state_scale,
+            self.disturbance_scale,
+            self.disturbance_components,
+        )
+
+    def decide(self, context: DecisionContext) -> int:
+        action = self.agent.act(self.observation(context), self.epsilon)
+        return RUN if action == 1 else SKIP

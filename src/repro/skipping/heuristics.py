@@ -1,0 +1,67 @@
+"""Simple skipping heuristics used as baselines and ablations.
+
+The bang-bang scheme of the paper's Eq. (7) is
+:class:`repro.skipping.base.AlwaysSkipPolicy` (skip whenever allowed);
+this module adds periodic and randomised policies, plus a threshold
+policy that skips only when the state is comfortably inside ``X'`` —
+useful ablations when quantifying how much the learning actually buys.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry import HPolytope
+from repro.skipping.base import RUN, SKIP, DecisionContext, SkippingPolicy
+
+__all__ = ["PeriodicSkipPolicy", "RandomSkipPolicy", "MarginThresholdPolicy"]
+
+
+class PeriodicSkipPolicy(SkippingPolicy):
+    """Run the controller every ``period``-th step, skip otherwise.
+
+    A weakly-hard-style (1, period) pattern: deterministic, context-blind.
+    """
+
+    def __init__(self, period: int, offset: int = 0):
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = int(period)
+        self.offset = int(offset)
+
+    def decide(self, context: DecisionContext) -> int:
+        return RUN if (context.time + self.offset) % self.period == 0 else SKIP
+
+
+class RandomSkipPolicy(SkippingPolicy):
+    """Skip with probability ``skip_probability`` i.i.d. per step."""
+
+    def __init__(self, skip_probability: float, rng: np.random.Generator):
+        if not 0.0 <= skip_probability <= 1.0:
+            raise ValueError("skip_probability must be in [0, 1]")
+        self.skip_probability = float(skip_probability)
+        self.rng = rng
+
+    def decide(self, context: DecisionContext) -> int:
+        return SKIP if self.rng.random() < self.skip_probability else RUN
+
+
+class MarginThresholdPolicy(SkippingPolicy):
+    """Skip only when the state sits at least ``margin`` inside ``X'``.
+
+    The margin is the most-violated-constraint slack
+    ``min_i (h_i − a_i·x)`` of the strengthened set's H-representation
+    (rows are unit-norm, so the slack is a Euclidean distance bound).
+    """
+
+    def __init__(self, strengthened_set: HPolytope, margin: float):
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        self.strengthened_set = strengthened_set
+        self.margin = float(margin)
+
+    def decide(self, context: DecisionContext) -> int:
+        slack = -self.strengthened_set.violation(context.state)
+        return SKIP if slack >= self.margin else RUN

@@ -1,0 +1,305 @@
+"""Model-based skipping decision (paper Eq. 6).
+
+When the safe controller has an analytic form ``κ(x) = K x`` and the
+perturbation ``w(t)`` is known ahead of time, the skipping choice can be
+optimised directly.  At every step the policy solves the finite-horizon
+problem
+
+    min_{z, u, x}  Σ_{k=0}^{H-1} ||u(k)||_1
+    s.t.  x(k+1) = A x(k) + B u(k) + w(k)
+          x(k+1) ∈ X',  u(k) ∈ U
+          u(k) = z(k) · κ(x(k)),  z(k) ∈ {0, 1}
+          x(0) = x(t)
+
+and applies the first element of the optimal ``z`` sequence (receding
+horizon, exactly like MPC — the paper's Remark 1).
+
+Two solvers are provided:
+
+* :class:`MILPSkippingPolicy` — exact mixed-integer LP via
+  ``scipy.optimize.milp`` (HiGHS) using a big-M encoding of the product
+  ``z(k) · K x(k)``.  Requires linear feedback κ.
+* :class:`ExhaustiveSkippingPolicy` — enumerates all ``2^H`` skip
+  sequences and simulates each with the *actual* controller, so it works
+  for any κ (including RMPC); exponential, intended for small ``H`` and
+  as ground truth for the MILP in tests.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.controllers.base import Controller
+from repro.geometry import HPolytope
+from repro.skipping.base import RUN, SKIP, DecisionContext, SkippingPolicy
+from repro.systems.lti import DiscreteLTISystem
+from repro.utils.validation import as_matrix
+
+__all__ = ["MILPSkippingPolicy", "ExhaustiveSkippingPolicy"]
+
+
+class MILPSkippingPolicy(SkippingPolicy):
+    """Exact Eq.-(6) optimiser for linear feedback controllers.
+
+    Args:
+        system: The plant (provides A, B, U).
+        gain: Feedback gain ``K`` with ``κ(x) = K x``.
+        strengthened_set: ``X'`` — planned states are confined to it so
+            skipping stays available along the plan.
+        horizon: Planning horizon ``H``.
+        fallback: Decision returned when the MILP is infeasible at the
+            current state (default: run the controller — always safe).
+
+    Notes:
+        The policy requires ``context.future_disturbances`` (construct the
+        :class:`repro.framework.IntermittentController` with
+        ``reveal_future=True``).  Missing future information raises,
+        because silently degrading to a heuristic would contaminate the
+        model-based experiments.
+    """
+
+    def __init__(
+        self,
+        system: DiscreteLTISystem,
+        gain,
+        strengthened_set: HPolytope,
+        horizon: int = 5,
+        fallback: int = RUN,
+    ):
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.system = system
+        self.K = as_matrix(gain, "gain")
+        if self.K.shape != (system.m, system.n):
+            raise ValueError("gain shape must be (m, n)")
+        self.strengthened_set = strengthened_set
+        self.horizon = int(horizon)
+        self.fallback = fallback
+        self._infeasible_count = 0
+        # Big-M values from the support of X' in the gain directions.
+        big = []
+        for row in self.K:
+            big.append(
+                max(strengthened_set.support(row), strengthened_set.support(-row))
+            )
+        self._big_m0 = np.array(big) + 1.0
+        self._big_m1 = 2.0 * self._big_m0 + 1.0
+
+    @property
+    def infeasible_count(self) -> int:
+        """How many decisions fell back due to MILP infeasibility."""
+        return self._infeasible_count
+
+    def decide(self, context: DecisionContext) -> int:
+        if context.future_disturbances is None:
+            raise ValueError(
+                "MILPSkippingPolicy needs future disturbances; run the "
+                "framework with reveal_future=True"
+            )
+        W = np.atleast_2d(context.future_disturbances)
+        H = min(self.horizon, W.shape[0])
+        if H == 0:
+            return self.fallback
+        plan = self._solve(context.state, W[:H])
+        if plan is None:
+            self._infeasible_count += 1
+            return self.fallback
+        return RUN if plan[0] == 1 else SKIP
+
+    # ------------------------------------------------------------------
+    def _solve(self, x0, W) -> Optional[np.ndarray]:
+        """Solve the MILP; returns the optimal z sequence or None.
+
+        Variable layout: ``[x(1..H) | u(0..H-1) | su(0..H-1) | z(0..H-1)]``.
+        """
+        A, B = self.system.A, self.system.B
+        K = self.K
+        n, m = self.system.n, self.system.m
+        H = W.shape[0]
+        Xp, U = self.strengthened_set, self.system.input_set
+        nx, nu = H * n, H * m
+        total = nx + 2 * nu + H
+
+        def xs(k):  # x(k), valid for k >= 1
+            return slice((k - 1) * n, k * n)
+
+        def us(k):
+            return slice(nx + k * m, nx + (k + 1) * m)
+
+        def ss(k):
+            return slice(nx + nu + k * m, nx + nu + (k + 1) * m)
+
+        def zi(k):
+            return nx + 2 * nu + k
+
+        cost = np.zeros(total)
+        for k in range(H):
+            cost[ss(k)] = 1.0
+
+        rows, lbs, ubs = [], [], []
+
+        def add(row, lb, ub):
+            rows.append(row)
+            lbs.append(lb)
+            ubs.append(ub)
+
+        # Dynamics equalities.
+        for k in range(H):
+            for i in range(n):
+                row = np.zeros(total)
+                rhs = W[k][i]
+                if k == 0:
+                    rhs += float(A[i] @ x0)
+                else:
+                    row[xs(k)] = -A[i]
+                row[xs(k + 1)][i] = 1.0
+                # x(k+1)_i - A_i x(k) - B_i u(k) = w_i  (A x0 folded into rhs)
+                row[us(k)] = -B[i]
+                add(row, rhs, rhs)
+
+        # State constraints x(k) ∈ X' for k = 1..H.
+        for k in range(1, H + 1):
+            for a, b in zip(Xp.H, Xp.h):
+                row = np.zeros(total)
+                row[xs(k)] = a
+                add(row, -np.inf, b)
+
+        # Input constraints u(k) ∈ U.
+        for k in range(H):
+            for a, b in zip(U.H, U.h):
+                row = np.zeros(total)
+                row[us(k)] = a
+                add(row, -np.inf, b)
+
+        # Epigraph |u| <= su.
+        for k in range(H):
+            for i in range(m):
+                for sign in (1.0, -1.0):
+                    row = np.zeros(total)
+                    row[us(k)][i] = sign
+                    row[ss(k)][i] = -1.0
+                    add(row, -np.inf, 0.0)
+
+        # Big-M linking u(k) = z(k) K x(k).
+        for k in range(H):
+            kx_const = K @ np.asarray(x0, dtype=float) if k == 0 else None
+            for i in range(m):
+                m0 = self._big_m0[i]
+                m1 = self._big_m1[i]
+                # |u_i| <= M0 z.
+                for sign in (1.0, -1.0):
+                    row = np.zeros(total)
+                    row[us(k)][i] = sign
+                    row[zi(k)] = -m0
+                    add(row, -np.inf, 0.0)
+                # |u_i - (K x(k))_i| <= M1 (1 - z).
+                for sign in (1.0, -1.0):
+                    row = np.zeros(total)
+                    row[us(k)][i] = sign
+                    row[zi(k)] = m1
+                    rhs = m1
+                    if k == 0:
+                        rhs += sign * kx_const[i]
+                    else:
+                        row[xs(k)] = -sign * K[i]
+                    add(row, -np.inf, rhs)
+
+        constraints = LinearConstraint(np.array(rows), np.array(lbs), np.array(ubs))
+        integrality = np.zeros(total)
+        lower = np.full(total, -np.inf)
+        upper = np.full(total, np.inf)
+        for k in range(H):
+            integrality[zi(k)] = 1
+            lower[zi(k)] = 0.0
+            upper[zi(k)] = 1.0
+        res = milp(
+            cost,
+            constraints=constraints,
+            integrality=integrality,
+            bounds=Bounds(lower, upper),
+        )
+        if not res.success:
+            return None
+        z = np.round(res.x[nx + 2 * nu :]).astype(int)
+        return z
+
+
+class ExhaustiveSkippingPolicy(SkippingPolicy):
+    """Brute-force Eq.-(6) solver for arbitrary controllers.
+
+    Simulates all ``2^H`` skip sequences with the real controller κ and
+    the known disturbances, discards sequences that leave ``X'`` or
+    violate ``U``, and picks the minimum-energy one.  ``H`` beyond ~8 is
+    impractical by design.
+    """
+
+    def __init__(
+        self,
+        system: DiscreteLTISystem,
+        controller: Controller,
+        strengthened_set: HPolytope,
+        horizon: int = 4,
+        skip_input=None,
+        fallback: int = RUN,
+    ):
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if horizon > 12:
+            raise ValueError("exhaustive search beyond H=12 is intractable")
+        self.system = system
+        self.controller = controller
+        self.strengthened_set = strengthened_set
+        self.horizon = int(horizon)
+        self.skip_input = (
+            np.zeros(system.m) if skip_input is None else np.asarray(skip_input, float)
+        )
+        self.fallback = fallback
+        self._infeasible_count = 0
+
+    @property
+    def infeasible_count(self) -> int:
+        """How many decisions fell back because no sequence was feasible."""
+        return self._infeasible_count
+
+    def decide(self, context: DecisionContext) -> int:
+        if context.future_disturbances is None:
+            raise ValueError(
+                "ExhaustiveSkippingPolicy needs future disturbances; run "
+                "the framework with reveal_future=True"
+            )
+        W = np.atleast_2d(context.future_disturbances)
+        H = min(self.horizon, W.shape[0])
+        if H == 0:
+            return self.fallback
+        best_cost = np.inf
+        best_first = None
+        for sequence in product((SKIP, RUN), repeat=H):
+            cost = self._evaluate(context.state, sequence, W[:H])
+            if cost is not None and cost < best_cost - 1e-12:
+                best_cost = cost
+                best_first = sequence[0]
+        if best_first is None:
+            self._infeasible_count += 1
+            return self.fallback
+        return best_first
+
+    def _evaluate(self, x0, sequence, W) -> Optional[float]:
+        """Energy of one skip sequence, or None if it violates X'/U."""
+        x = np.asarray(x0, dtype=float)
+        energy = 0.0
+        for k, z in enumerate(sequence):
+            if z == RUN:
+                u = np.asarray(self.controller.compute(x), dtype=float)
+                if not self.system.input_set.contains(u, tol=1e-6):
+                    return None
+            else:
+                u = self.skip_input
+            x = self.system.step(x, u, W[k])
+            if not self.strengthened_set.contains(x, tol=1e-7):
+                return None
+            energy += float(np.abs(u).sum())
+        return energy

@@ -1,0 +1,70 @@
+"""Weakly-hard (m, K) constrained skipping.
+
+The paper's related-work section contrasts its *proactive* skipping with
+weakly-hard real-time systems, where at most ``m`` deadline misses are
+tolerated in any ``K`` consecutive instances.  This module provides that
+discipline as a policy combinator: wrap any skipping policy and the
+wrapper vetoes skips that would violate the (m, K) constraint over the
+realised decision history.
+
+This gives a principled middle ground between bang-bang (unbounded skip
+bursts) and always-run, and lets the benchmarks compare the paper's
+set-membership safety gate against the classical pattern-based one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.skipping.base import RUN, SKIP, DecisionContext, SkippingPolicy
+
+__all__ = ["WeaklyHardPolicy"]
+
+
+class WeaklyHardPolicy(SkippingPolicy):
+    """Enforce an (m, K) bound on skips over any sliding window.
+
+    Args:
+        inner: The policy proposing decisions.
+        max_skips: ``m`` — maximum skips tolerated …
+        window: … in any ``K`` consecutive steps.
+
+    The wrapper only ever *strengthens* decisions (turns SKIP into RUN),
+    so safety guarantees of the surrounding framework are unaffected.
+    """
+
+    def __init__(self, inner: SkippingPolicy, max_skips: int, window: int):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0 <= max_skips <= window:
+            raise ValueError("max_skips must be in [0, window]")
+        self.inner = inner
+        self.max_skips = int(max_skips)
+        self.window = int(window)
+        # The sliding window of K decisions is the new one plus the last
+        # K−1 — only those need remembering.
+        self._history: deque = deque(maxlen=max(window - 1, 1))
+
+    def decide(self, context: DecisionContext) -> int:
+        proposed = self.inner.decide(context)
+        recent_skips = (
+            sum(1 for d in self._history if d == SKIP) if self.window > 1 else 0
+        )
+        if proposed == SKIP and recent_skips >= self.max_skips:
+            decision = RUN
+        else:
+            decision = proposed
+        if self.window > 1:
+            self._history.append(decision)
+        return decision
+
+    def observe(self, context, decision, forced, next_state, applied_input):
+        # A monitor-forced RUN overrides what decide() recorded; fix the
+        # history so the window reflects the *actual* actuation pattern.
+        if forced and self._history:
+            self._history[-1] = RUN
+        self.inner.observe(context, decision, forced, next_state, applied_input)
+
+    def reset(self) -> None:
+        self._history.clear()
+        self.inner.reset()

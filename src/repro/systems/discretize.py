@@ -1,0 +1,57 @@
+"""Continuous-to-discrete conversion helpers.
+
+The ACC case study in the paper uses forward-Euler discretisation of
+Newtonian dynamics with period ``δ = 0.1``; a zero-order-hold (ZOH) variant
+is provided for users that want the exact discretisation instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.utils.validation import as_matrix, check_square
+
+__all__ = ["euler_discretize", "zoh_discretize"]
+
+
+def euler_discretize(A_cont, B_cont, dt: float) -> tuple:
+    """Forward-Euler discretisation ``(I + dt A, dt B)``.
+
+    This is the scheme used by the paper's ACC difference equations.
+
+    Args:
+        A_cont: Continuous-time state matrix.
+        B_cont: Continuous-time input matrix.
+        dt: Sampling period (> 0).
+
+    Returns:
+        ``(A_d, B_d)`` discrete matrices.
+    """
+    A_cont = check_square(as_matrix(A_cont, "A_cont"), "A_cont")
+    B_cont = as_matrix(B_cont, "B_cont")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    n = A_cont.shape[0]
+    return np.eye(n) + dt * A_cont, dt * B_cont
+
+
+def zoh_discretize(A_cont, B_cont, dt: float) -> tuple:
+    """Exact zero-order-hold discretisation via the augmented matrix
+    exponential.
+
+    Returns:
+        ``(A_d, B_d)`` with ``A_d = e^{A dt}`` and
+        ``B_d = ∫_0^dt e^{A s} ds · B``.
+    """
+    A_cont = check_square(as_matrix(A_cont, "A_cont"), "A_cont")
+    B_cont = as_matrix(B_cont, "B_cont")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    n = A_cont.shape[0]
+    m = B_cont.shape[1]
+    block = np.zeros((n + m, n + m))
+    block[:n, :n] = A_cont
+    block[:n, n:] = B_cont
+    exp_block = expm(block * dt)
+    return exp_block[:n, :n], exp_block[:n, n:]

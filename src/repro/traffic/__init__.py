@@ -1,0 +1,27 @@
+"""Traffic substrate: front-vehicle patterns, fuel meter, raw simulator."""
+
+from repro.traffic.fuel import FuelModel, HBEFA3Fuel
+from repro.traffic.patterns import (
+    EXPERIMENT_IDS,
+    BoundedAccelerationPattern,
+    ConstantPattern,
+    FrontVehiclePattern,
+    PureRandomPattern,
+    SinusoidalPattern,
+    experiment_pattern,
+)
+from repro.traffic.simulator import LongitudinalSimulator, TrafficTrace
+
+__all__ = [
+    "FuelModel",
+    "HBEFA3Fuel",
+    "FrontVehiclePattern",
+    "SinusoidalPattern",
+    "PureRandomPattern",
+    "BoundedAccelerationPattern",
+    "ConstantPattern",
+    "experiment_pattern",
+    "EXPERIMENT_IDS",
+    "LongitudinalSimulator",
+    "TrafficTrace",
+]

@@ -1,0 +1,236 @@
+"""Front-vehicle velocity patterns (paper Sec. IV, Ex.1–Ex.10).
+
+Each pattern generates a bounded velocity trace ``v_f(t)`` for the front
+vehicle.  The experiments of the paper vary two axes:
+
+* the **range** of ``v_f`` (Table I, Ex.1–Ex.5) with bounded acceleration
+  ``v_f' ∈ [−20, 20]``;
+* the **regularity** of the changes (Ex.6–Ex.10): pure random jumps,
+  continuous random walk, and the sinusoid of Eq. (8) with shrinking
+  noise.
+
+:func:`experiment_pattern` builds the exact configuration of each paper
+experiment id.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "FrontVehiclePattern",
+    "SinusoidalPattern",
+    "PureRandomPattern",
+    "BoundedAccelerationPattern",
+    "ConstantPattern",
+    "experiment_pattern",
+    "EXPERIMENT_IDS",
+]
+
+
+class FrontVehiclePattern(ABC):
+    """A bounded front-vehicle velocity process.
+
+    Attributes:
+        vf_min: Lower velocity bound.
+        vf_max: Upper velocity bound.
+    """
+
+    def __init__(self, vf_min: float, vf_max: float):
+        if vf_min > vf_max:
+            raise ValueError("vf_min must not exceed vf_max")
+        self.vf_min = float(vf_min)
+        self.vf_max = float(vf_max)
+
+    @property
+    def center(self) -> float:
+        """Mid-range velocity (the framework's equilibrium v_ref)."""
+        return 0.5 * (self.vf_min + self.vf_max)
+
+    @abstractmethod
+    def generate(self, horizon: int) -> np.ndarray:
+        """A fresh ``(horizon,)`` velocity trace inside the bounds."""
+
+    def _clip(self, values: np.ndarray) -> np.ndarray:
+        return np.clip(values, self.vf_min, self.vf_max)
+
+
+class SinusoidalPattern(FrontVehiclePattern):
+    """Paper Eq. (8): ``v_f(t) = v_e + a_f sin(π/2 δ t) + w``.
+
+    Args:
+        ve: Mean velocity ``v_e``.
+        amplitude: ``a_f``.
+        noise: Half-width of the uniform disturbance ``w``.
+        dt: Sampling period δ (0.1 in the paper).
+        rng: Generator (required when noise > 0).
+        vf_min / vf_max: Hard clip bounds; default ``ve ± 10`` (the
+            paper's [30, 50] for v_e = 40).
+    """
+
+    def __init__(
+        self,
+        ve: float = 40.0,
+        amplitude: float = 9.0,
+        noise: float = 1.0,
+        dt: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+        vf_min: Optional[float] = None,
+        vf_max: Optional[float] = None,
+    ):
+        if vf_min is None:
+            vf_min = ve - 10.0
+        if vf_max is None:
+            vf_max = ve + 10.0
+        super().__init__(vf_min, vf_max)
+        if noise > 0 and rng is None:
+            raise ValueError("rng required when noise > 0")
+        self.ve = float(ve)
+        self.amplitude = float(amplitude)
+        self.noise = float(noise)
+        self.dt = float(dt)
+        self.rng = rng
+
+    def generate(self, horizon: int) -> np.ndarray:
+        t = np.arange(horizon)
+        vf = self.ve + self.amplitude * np.sin(np.pi / 2.0 * self.dt * t)
+        if self.noise > 0:
+            vf = vf + self.rng.uniform(-self.noise, self.noise, size=horizon)
+        return self._clip(vf)
+
+
+class PureRandomPattern(FrontVehiclePattern):
+    """Ex.6: completely random — drastic instant changes allowed."""
+
+    def __init__(self, vf_min: float, vf_max: float, rng: np.random.Generator):
+        super().__init__(vf_min, vf_max)
+        self.rng = rng
+
+    def generate(self, horizon: int) -> np.ndarray:
+        return self.rng.uniform(self.vf_min, self.vf_max, size=horizon)
+
+
+class BoundedAccelerationPattern(FrontVehiclePattern):
+    """Ex.1–Ex.5 / Ex.7: random acceleration bounded in
+    ``accel_range``, velocity clipped to the range.
+
+    Each step draws ``v_f' ∈ accel_range`` uniformly and integrates with
+    period ``dt`` — "the velocity can only change continuously".
+    """
+
+    def __init__(
+        self,
+        vf_min: float,
+        vf_max: float,
+        rng: np.random.Generator,
+        accel_range: tuple = (-20.0, 20.0),
+        dt: float = 0.1,
+        start: Optional[float] = None,
+    ):
+        super().__init__(vf_min, vf_max)
+        self.rng = rng
+        self.accel_range = (float(accel_range[0]), float(accel_range[1]))
+        self.dt = float(dt)
+        self.start = start
+
+    def generate(self, horizon: int) -> np.ndarray:
+        vf = np.empty(horizon)
+        current = (
+            self.center
+            if self.start is None
+            else float(np.clip(self.start, self.vf_min, self.vf_max))
+        )
+        for t in range(horizon):
+            accel = self.rng.uniform(*self.accel_range)
+            current = float(
+                np.clip(current + accel * self.dt, self.vf_min, self.vf_max)
+            )
+            vf[t] = current
+        return vf
+
+
+class ConstantPattern(FrontVehiclePattern):
+    """Front vehicle at constant speed (degenerate baseline for tests)."""
+
+    def __init__(self, velocity: float):
+        super().__init__(velocity, velocity)
+        self.velocity = float(velocity)
+
+    def generate(self, horizon: int) -> np.ndarray:
+        return np.full(horizon, self.velocity)
+
+
+#: Paper experiment identifiers accepted by :func:`experiment_pattern`.
+EXPERIMENT_IDS = (
+    "ex1",
+    "ex2",
+    "ex3",
+    "ex4",
+    "ex5",
+    "ex6",
+    "ex7",
+    "ex8",
+    "ex9",
+    "ex10",
+    "overall",
+)
+
+#: Table I velocity ranges for Ex.1–Ex.5.
+_VF_RANGES = {
+    "ex1": (30.0, 50.0),
+    "ex2": (32.5, 47.5),
+    "ex3": (35.0, 45.0),
+    "ex4": (38.0, 42.0),
+    "ex5": (39.0, 41.0),
+}
+
+#: Ex.8–Ex.10 sinusoid settings: (amplitude a_f, noise half-width).
+_SINUSOID_SETTINGS = {
+    "ex8": (5.0, 5.0),
+    "ex9": (8.0, 2.0),
+    "ex10": (9.0, 1.0),
+}
+
+
+def experiment_pattern(
+    experiment: str, rng: np.random.Generator, dt: float = 0.1
+) -> FrontVehiclePattern:
+    """Front-vehicle pattern for a paper experiment id.
+
+    Args:
+        experiment: One of :data:`EXPERIMENT_IDS` — ``ex1`` … ``ex10`` or
+            ``overall`` (the Sec. IV-A sinusoid, identical to ``ex10``).
+        rng: Randomness source.
+        dt: Sampling period.
+
+    Returns:
+        A configured :class:`FrontVehiclePattern`.
+
+    Raises:
+        ValueError: For unknown experiment ids.
+    """
+    experiment = experiment.lower()
+    if experiment in _VF_RANGES:
+        lo, hi = _VF_RANGES[experiment]
+        return BoundedAccelerationPattern(lo, hi, rng, accel_range=(-20.0, 20.0), dt=dt)
+    if experiment == "ex6":
+        return PureRandomPattern(30.0, 50.0, rng)
+    if experiment == "ex7":
+        return BoundedAccelerationPattern(
+            30.0, 50.0, rng, accel_range=(-20.0, 20.0), dt=dt
+        )
+    if experiment in _SINUSOID_SETTINGS:
+        amplitude, noise = _SINUSOID_SETTINGS[experiment]
+        return SinusoidalPattern(
+            ve=40.0, amplitude=amplitude, noise=noise, dt=dt, rng=rng,
+            vf_min=30.0, vf_max=50.0,
+        )
+    if experiment == "overall":
+        return SinusoidalPattern(
+            ve=40.0, amplitude=9.0, noise=1.0, dt=dt, rng=rng,
+            vf_min=30.0, vf_max=50.0,
+        )
+    raise ValueError(f"unknown experiment id {experiment!r}")

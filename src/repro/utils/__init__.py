@@ -1,0 +1,10 @@
+"""Shared utilities: array validation, configuration, LP wrappers."""
+
+from repro.utils.validation import (
+    as_matrix,
+    as_vector,
+    check_square,
+    check_shape_match,
+)
+
+__all__ = ["as_matrix", "as_vector", "check_square", "check_shape_match"]

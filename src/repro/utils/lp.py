@@ -1,0 +1,106 @@
+"""Thin wrappers around :func:`scipy.optimize.linprog` (HiGHS backend).
+
+``linprog`` defaults to non-negative variables, which is never what a set
+computation wants, so every wrapper here uses free variables unless told
+otherwise.  All wrappers return plain floats/arrays and raise
+:class:`LPError` on solver failure so callers do not have to inspect
+``OptimizeResult`` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+__all__ = ["LPError", "LPSolution", "solve_lp", "lp_feasible", "maximize"]
+
+
+class LPError(RuntimeError):
+    """Raised when an LP that was expected to solve does not."""
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Result of a successful LP solve.
+
+    Attributes:
+        x: Optimal point.
+        value: Optimal objective value (of the *minimisation*).
+        status: scipy status code (0 = optimal).
+    """
+
+    x: np.ndarray
+    value: float
+    status: int
+
+
+def solve_lp(
+    c,
+    a_ub=None,
+    b_ub=None,
+    a_eq=None,
+    b_eq=None,
+    bounds=None,
+) -> LPSolution:
+    """Minimise ``c @ x`` subject to ``a_ub @ x <= b_ub`` and equalities.
+
+    Variables are free (``(-inf, inf)``) unless ``bounds`` is given.
+
+    Raises:
+        LPError: If the problem is infeasible, unbounded, or the solver
+            fails numerically.
+    """
+    c = np.asarray(c, dtype=float)
+    if bounds is None:
+        bounds = [(None, None)] * c.size
+    res = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not res.success:
+        raise LPError(f"LP failed (status={res.status}): {res.message}")
+    return LPSolution(x=np.asarray(res.x, dtype=float), value=float(res.fun), status=int(res.status))
+
+
+def lp_feasible(a_ub, b_ub, a_eq=None, b_eq=None) -> bool:
+    """Return True iff ``{x : a_ub x <= b_ub, a_eq x = b_eq}`` is non-empty."""
+    a_ub = np.asarray(a_ub, dtype=float)
+    n = a_ub.shape[1]
+    res = linprog(
+        np.zeros(n),
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(None, None)] * n,
+        method="highs",
+    )
+    # Status 2 is "infeasible"; anything else with success=False is a real
+    # solver failure that the caller should see.
+    if res.success:
+        return True
+    if res.status == 2:
+        return False
+    raise LPError(f"feasibility LP failed (status={res.status}): {res.message}")
+
+
+def maximize(objective, a_ub, b_ub) -> LPSolution:
+    """Maximise ``objective @ x`` over ``{x : a_ub x <= b_ub}``.
+
+    Returns:
+        An :class:`LPSolution` whose ``value`` is the *maximum* (sign
+        already flipped back).
+
+    Raises:
+        LPError: If infeasible or unbounded.
+    """
+    objective = np.asarray(objective, dtype=float)
+    sol = solve_lp(-objective, a_ub=a_ub, b_ub=b_ub)
+    return LPSolution(x=sol.x, value=-sol.value, status=sol.status)

@@ -1,0 +1,91 @@
+"""Array validation helpers used across the library.
+
+These helpers convert arbitrary array-likes to float ``numpy`` arrays with
+the expected rank, and raise :class:`ValueError` with messages that name the
+offending argument, which makes misuse of the public API easy to diagnose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_matrix", "as_vector", "check_square", "check_shape_match"]
+
+
+def as_matrix(value, name: str = "matrix") -> np.ndarray:
+    """Convert ``value`` to a 2-D float array.
+
+    Scalars and 1-D arrays are rejected rather than silently reshaped so the
+    caller's intent stays explicit.
+
+    Args:
+        value: Array-like to convert.
+        name: Argument name used in error messages.
+
+    Returns:
+        A 2-D ``float64`` array (copy).
+
+    Raises:
+        ValueError: If ``value`` is not 2-D or contains non-finite entries.
+    """
+    arr = np.array(value, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr
+
+
+def as_vector(value, name: str = "vector") -> np.ndarray:
+    """Convert ``value`` to a 1-D float array.
+
+    Scalars become length-1 vectors; column/row matrices with a singleton
+    dimension are flattened, since callers frequently hold states as
+    ``(n, 1)`` arrays.
+
+    Args:
+        value: Array-like to convert.
+        name: Argument name used in error messages.
+
+    Returns:
+        A 1-D ``float64`` array (copy).
+
+    Raises:
+        ValueError: If ``value`` has rank > 2, is a non-degenerate matrix,
+            or contains non-finite entries.
+    """
+    arr = np.array(value, dtype=float)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    elif arr.ndim == 2 and 1 in arr.shape:
+        arr = arr.reshape(-1)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr
+
+
+def check_square(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that ``matrix`` is square and return it.
+
+    Raises:
+        ValueError: If the matrix is not square.
+    """
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {matrix.shape}")
+    return matrix
+
+
+def check_shape_match(
+    actual: tuple, expected: tuple, name: str = "array"
+) -> None:
+    """Raise if ``actual`` differs from ``expected``.
+
+    Raises:
+        ValueError: On any mismatch, naming the argument.
+    """
+    if tuple(actual) != tuple(expected):
+        raise ValueError(
+            f"{name} has shape {tuple(actual)}, expected {tuple(expected)}"
+        )

@@ -1,0 +1,109 @@
+"""Tests for the experiment harness utilities (fast paths only —
+the full pipelines are covered by test_integration and the benchmarks)."""
+
+import numpy as np
+import pytest
+
+from repro.acc.experiments import (
+    FIG4_BIN_EDGES,
+    ApproachStats,
+    ComparisonResult,
+    experiment_vf_range,
+    train_skipping_agent,
+)
+
+
+def _stats(fuel, energy=None):
+    fuel = np.asarray(fuel, dtype=float)
+    if energy is None:
+        energy = fuel * 10.0
+    return ApproachStats(
+        fuel=fuel,
+        energy=np.asarray(energy, dtype=float),
+        skip_rate=np.full(fuel.shape, 0.8),
+        forced_steps=np.full(fuel.shape, 5.0),
+        mean_controller_ms=3.0,
+        mean_monitor_ms=0.05,
+    )
+
+
+@pytest.fixture
+def comparison():
+    return ComparisonResult(
+        experiment="unit",
+        rmpc_only=_stats([10.0, 20.0, 40.0]),
+        bang_bang=_stats([9.0, 15.0, 36.0]),
+        drl=_stats([8.0, 14.0, 30.0]),
+    )
+
+
+class TestComparisonResult:
+    def test_fuel_saving_values(self, comparison):
+        np.testing.assert_allclose(
+            comparison.fuel_saving("bang_bang"), [0.1, 0.25, 0.1]
+        )
+        np.testing.assert_allclose(
+            comparison.fuel_saving("drl"), [0.2, 0.3, 0.25]
+        )
+
+    def test_energy_saving_values(self, comparison):
+        np.testing.assert_allclose(
+            comparison.energy_saving("drl"), [0.2, 0.3, 0.25]
+        )
+
+    def test_energy_saving_zero_base(self):
+        result = ComparisonResult(
+            experiment="unit",
+            rmpc_only=_stats([10.0], energy=[0.0]),
+            bang_bang=_stats([9.0], energy=[0.0]),
+            drl=None,
+        )
+        np.testing.assert_allclose(result.energy_saving("bang_bang"), [0.0])
+
+    def test_histogram_bins(self, comparison):
+        counts = comparison.saving_histogram("drl")
+        assert counts.sum() == 3
+        # Savings 0.2, 0.3, 0.25 land in the 20-30% bin (two) and 30-40%.
+        assert counts[2] == 2
+        assert counts[3] == 1
+
+    def test_histogram_clips_out_of_range(self):
+        result = ComparisonResult(
+            experiment="unit",
+            rmpc_only=_stats([10.0, 10.0]),
+            bang_bang=_stats([11.0, 2.0]),  # -10% and +80% savings
+            drl=None,
+        )
+        counts = result.saving_histogram("bang_bang")
+        assert counts.sum() == 2
+        assert counts[0] == 1  # clipped below
+        assert counts[-1] == 1  # clipped above
+
+    def test_missing_drl_raises(self):
+        result = ComparisonResult(
+            experiment="unit",
+            rmpc_only=_stats([10.0]),
+            bang_bang=_stats([9.0]),
+            drl=None,
+        )
+        with pytest.raises(ValueError, match="unavailable"):
+            result.fuel_saving("drl")
+
+    def test_unknown_approach_raises(self, comparison):
+        with pytest.raises(ValueError):
+            comparison.fuel_saving("magic")
+
+
+class TestHarnessValidation:
+    def test_bin_edges_cover_paper_bins(self):
+        assert FIG4_BIN_EDGES[0] == 0.0
+        assert FIG4_BIN_EDGES[-1] == pytest.approx(0.6)
+        assert len(FIG4_BIN_EDGES) == 7
+
+    def test_vf_ranges_match_table1(self):
+        assert experiment_vf_range("ex1") == (30.0, 50.0)
+        assert experiment_vf_range("ex5") == (39.0, 41.0)
+
+    def test_restarts_validation(self, acc_case):
+        with pytest.raises(ValueError, match="restarts"):
+            train_skipping_agent(acc_case, "overall", episodes=1, restarts=0)

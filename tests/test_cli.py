@@ -1,0 +1,44 @@
+"""Tests for the command-line interface (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sets_defaults(self):
+        args = build_parser().parse_args(["sets"])
+        assert args.width == 66
+        assert args.command == "sets"
+
+    def test_compare_flags(self):
+        args = build_parser().parse_args(
+            ["compare", "--cases", "5", "--episodes", "10", "--restarts", "2"]
+        )
+        assert args.cases == 5
+        assert args.episodes == 10
+        assert args.restarts == 2
+
+    def test_experiment_positional(self):
+        args = build_parser().parse_args(["experiment", "ex3"])
+        assert args.name == "ex3"
+
+
+class TestExecution:
+    def test_sets_command_renders(self, acc_case, capsys):
+        # acc_case fixture pre-populates the module cache, so the CLI
+        # reuses the already-built sets.
+        assert main(["sets", "--width", "40", "--height", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+        assert "XI=" in out
+
+    def test_timing_command(self, acc_case, capsys):
+        assert main(["timing"]) == 0
+        out = capsys.readouterr().out
+        assert "controller:" in out
+        assert "saving at 79 skips/100" in out

@@ -1,0 +1,109 @@
+"""Tests for the DRL observation builder and policy wrapper details."""
+
+import numpy as np
+import pytest
+
+from repro.rl import DQNConfig, DoubleDQNAgent
+from repro.skipping import DRLSkippingPolicy, build_observation
+from repro.skipping.base import DecisionContext
+
+
+class TestBuildObservation:
+    def test_layout_and_normalisation(self):
+        obs = build_observation(
+            state=np.array([15.0, -7.5]),
+            past_disturbances=np.array([[0.5, 0.0]]),
+            state_scale=np.array([30.0, 15.0]),
+            disturbance_scale=1.0,
+            disturbance_components=(0,),
+        )
+        np.testing.assert_allclose(obs, [0.5, -0.5, 0.5])
+
+    def test_memory_length_extends_observation(self):
+        history = np.array([[0.1, 0.0], [0.2, 0.0], [0.3, 0.0]])
+        obs = build_observation(
+            state=np.zeros(2),
+            past_disturbances=history,
+            state_scale=np.ones(2),
+            disturbance_scale=0.1,
+            disturbance_components=(0,),
+        )
+        assert obs.shape == (5,)
+        np.testing.assert_allclose(obs[2:], [1.0, 2.0, 3.0])
+
+    def test_component_selection(self):
+        history = np.array([[0.1, 0.7]])
+        obs = build_observation(
+            state=np.zeros(2),
+            past_disturbances=history,
+            state_scale=np.ones(2),
+            disturbance_scale=1.0,
+            disturbance_components=(1,),
+        )
+        np.testing.assert_allclose(obs[2:], [0.7])
+
+    def test_both_components(self):
+        history = np.array([[0.1, 0.7]])
+        obs = build_observation(
+            state=np.zeros(2),
+            past_disturbances=history,
+            state_scale=np.ones(2),
+            disturbance_scale=1.0,
+            disturbance_components=(0, 1),
+        )
+        assert obs.shape == (4,)
+        np.testing.assert_allclose(obs[2:], [0.1, 0.7])
+
+
+class TestDRLPolicyWrapper:
+    def _agent(self, state_dim):
+        cfg = DQNConfig(state_dim=state_dim, hidden=(8,))
+        return DoubleDQNAgent(cfg, np.random.default_rng(0))
+
+    def test_observation_matches_builder(self):
+        agent = self._agent(3)
+        policy = DRLSkippingPolicy(
+            agent, state_scale=[2.0, 4.0], disturbance_scale=0.5
+        )
+        ctx = DecisionContext(
+            time=0,
+            state=np.array([1.0, 2.0]),
+            past_disturbances=np.array([[0.25, 0.0]]),
+        )
+        obs = policy.observation(ctx)
+        np.testing.assert_allclose(obs, [0.5, 0.5, 0.5])
+
+    def test_decide_returns_binary(self):
+        agent = self._agent(3)
+        policy = DRLSkippingPolicy(
+            agent, state_scale=[1.0, 1.0], disturbance_scale=1.0
+        )
+        ctx = DecisionContext(
+            time=0, state=np.zeros(2),
+            past_disturbances=np.zeros((1, 2)),
+        )
+        assert policy.decide(ctx) in (0, 1)
+
+    def test_epsilon_exploration_mixes_actions(self):
+        agent = self._agent(3)
+        policy = DRLSkippingPolicy(
+            agent, state_scale=[1.0, 1.0], disturbance_scale=1.0, epsilon=1.0
+        )
+        ctx = DecisionContext(
+            time=0, state=np.zeros(2),
+            past_disturbances=np.zeros((1, 2)),
+        )
+        decisions = {policy.decide(ctx) for _ in range(40)}
+        assert decisions == {0, 1}
+
+    def test_greedy_is_deterministic(self):
+        agent = self._agent(3)
+        policy = DRLSkippingPolicy(
+            agent, state_scale=[1.0, 1.0], disturbance_scale=1.0
+        )
+        ctx = DecisionContext(
+            time=0, state=np.array([0.3, -0.2]),
+            past_disturbances=np.full((1, 2), 0.1),
+        )
+        first = policy.decide(ctx)
+        assert all(policy.decide(ctx) == first for _ in range(10))

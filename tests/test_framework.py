@@ -1,0 +1,253 @@
+"""Tests for the monitor, accounting and the Algorithm-1 loop."""
+
+import numpy as np
+import pytest
+
+from repro.controllers import LinearFeedback, lqr_gain
+from repro.framework import (
+    IntermittentController,
+    RunStats,
+    SafetyMonitor,
+    SafetyViolationError,
+    StateClass,
+    computation_saving,
+    run_controller_only,
+)
+from repro.geometry import HPolytope
+from repro.invariance import maximal_rpi, strengthened_safe_set
+from repro.skipping import (
+    AlwaysRunPolicy,
+    AlwaysSkipPolicy,
+    DecisionContext,
+    PeriodicSkipPolicy,
+    SkippingPolicy,
+)
+
+
+@pytest.fixture
+def di_setup(double_integrator):
+    """Double integrator + LQR + certified sets + monitor."""
+    system = double_integrator
+    K = lqr_gain(system.A, system.B, np.eye(2), np.eye(1))
+    controller = LinearFeedback(K)
+    seed = system.safe_set.intersect(system.input_set.linear_preimage(K))
+    xi = maximal_rpi(
+        system.closed_loop_matrix(K), seed, system.disturbance_set
+    ).invariant_set
+    xp = strengthened_safe_set(system, xi)
+    monitor = SafetyMonitor(
+        strengthened_set=xp,
+        invariant_set=xi,
+        safe_set=system.safe_set,
+    )
+    return system, controller, monitor, xi, xp
+
+
+class TestSafetyMonitor:
+    def test_classification_levels(self, di_setup):
+        _system, _controller, monitor, xi, xp = di_setup
+        inner = xp.interior_point()
+        assert monitor.classify(inner) is StateClass.STRENGTHENED
+        assert monitor.may_skip(inner)
+
+    def test_strict_violation_raises(self, di_setup):
+        _system, _controller, monitor, _xi, _xp = di_setup
+        with pytest.raises(SafetyViolationError):
+            monitor.classify([100.0, 100.0])
+        assert monitor.violations == 1
+
+    def test_non_strict_reports(self, di_setup):
+        system, _controller, _m, xi, xp = di_setup
+        monitor = SafetyMonitor(
+            strengthened_set=xp, invariant_set=xi,
+            safe_set=system.safe_set, strict=False,
+        )
+        assert monitor.classify([100.0, 100.0]) is StateClass.UNSAFE_REGION
+        assert monitor.violations == 1
+
+    def test_rejects_non_nested_sets(self, di_setup):
+        system, _controller, _m, xi, _xp = di_setup
+        too_big = system.safe_set.scale(2.0)
+        with pytest.raises(ValueError, match="subset"):
+            SafetyMonitor(
+                strengthened_set=too_big, invariant_set=xi,
+                safe_set=system.safe_set,
+            )
+
+    def test_admissible_initial(self, di_setup):
+        _system, _controller, monitor, xi, _xp = di_setup
+        assert monitor.admissible_initial(xi.interior_point())
+        assert not monitor.admissible_initial([100.0, 0.0])
+
+
+class TestAccounting:
+    def test_computation_saving_formula(self):
+        # Paper Sec. IV-A numbers: T_k=0.12, T_mon=0.02, 79.4 skips / 100.
+        saving = computation_saving(0.12, 0.02, 100, 79)
+        expected = (0.12 * 100 - (0.02 * 100 + 0.12 * 21)) / (0.12 * 100)
+        assert saving == pytest.approx(expected)
+        assert 0.5 < saving < 0.7
+
+    def test_computation_saving_no_skips_is_negative(self):
+        assert computation_saving(0.1, 0.02, 100, 0) < 0
+
+    def test_computation_saving_validates_steps(self):
+        with pytest.raises(ValueError):
+            computation_saving(0.1, 0.01, 0, 0)
+
+    def test_run_stats_properties(self):
+        stats = RunStats(
+            states=np.zeros((4, 2)),
+            inputs=np.array([[1.0], [0.0], [-2.0]]),
+            decisions=np.array([1, 0, 1]),
+            forced=np.array([False, False, True]),
+            controller_seconds=np.array([0.01, 0.0, 0.02]),
+            monitor_seconds=np.array([0.001, 0.001, 0.001]),
+            disturbances=np.zeros((3, 2)),
+        )
+        assert stats.steps == 3
+        assert stats.energy == pytest.approx(3.0)
+        assert stats.skipped_steps == 1
+        assert stats.skip_rate == pytest.approx(1 / 3)
+        assert stats.forced_steps == 1
+        assert stats.mean_controller_time == pytest.approx(0.015)
+        assert stats.mean_monitor_time == pytest.approx(0.001)
+        summary = stats.summary()
+        assert summary["skipped"] == 1
+        assert "computation_saving" in summary
+
+
+class TestIntermittentController:
+    def _disturbances(self, system, rng, steps=50):
+        lo, hi = system.disturbance_set.bounding_box()
+        return rng.uniform(lo, hi, size=(steps, system.n))
+
+    def test_rejects_initial_outside_xi(self, di_setup, rng):
+        system, controller, monitor, _xi, _xp = di_setup
+        runner = IntermittentController(
+            system, controller, monitor, AlwaysSkipPolicy()
+        )
+        with pytest.raises(ValueError, match="initial state"):
+            runner.run([100.0, 0.0], self._disturbances(system, rng))
+
+    def test_always_run_matches_controller_only(self, di_setup, rng):
+        system, controller, monitor, xi, _xp = di_setup
+        W = self._disturbances(system, rng)
+        x0 = xi.interior_point()
+        ours = IntermittentController(
+            system, controller, monitor, AlwaysRunPolicy()
+        ).run(x0, W)
+        baseline = run_controller_only(system, controller, x0, W)
+        np.testing.assert_allclose(ours.states, baseline.states, atol=1e-12)
+        np.testing.assert_allclose(ours.inputs, baseline.inputs, atol=1e-12)
+        assert ours.skipped_steps == 0
+
+    def test_skip_applies_skip_input(self, di_setup, rng):
+        system, controller, monitor, _xi, xp = di_setup
+        W = np.zeros((3, 2))
+        skip = np.array([0.25])
+        runner = IntermittentController(
+            system, controller, monitor, AlwaysSkipPolicy(), skip_input=skip
+        )
+        x0 = xp.interior_point()
+        stats = runner.run(x0, W)
+        skipped = stats.decisions == 0
+        assert skipped.any()
+        np.testing.assert_allclose(stats.inputs[skipped], 0.25)
+
+    def test_monitor_forces_outside_strengthened(self, di_setup, rng):
+        """Algorithm 1 line 8: z forced to 1 whenever x ∈ XI − X'."""
+        system, controller, monitor, xi, xp = di_setup
+        W = self._disturbances(system, rng, steps=100)
+        # Start in XI but outside X': vertices of XI stick out of X'
+        # whenever the inclusion is strict; nudge slightly inward so the
+        # point is robustly inside XI.
+        center = xi.interior_point()
+        candidates = [
+            center + 0.999 * (v - center) for v in xi.vertices()
+        ] + list(xi.sample(rng, 200))
+        for x0 in candidates:
+            if xi.contains(x0) and not xp.contains(x0):
+                break
+        else:
+            pytest.skip("no XI−X' sample found (sets almost equal)")
+        stats = IntermittentController(
+            system, controller, monitor, AlwaysSkipPolicy()
+        ).run(x0, W)
+        assert stats.forced[0]
+        assert stats.decisions[0] == 1
+
+    def test_theorem1_no_safety_violation(self, di_setup, rng):
+        """Empirical Theorem 1: strict monitor never trips for any policy."""
+        system, controller, monitor, xi, _xp = di_setup
+        policies = [
+            AlwaysSkipPolicy(),
+            AlwaysRunPolicy(),
+            PeriodicSkipPolicy(period=3),
+        ]
+        for policy in policies:
+            runner = IntermittentController(system, controller, monitor, policy)
+            for x0 in xi.sample(rng, 4):
+                stats = runner.run(x0, self._disturbances(system, rng, 120))
+                assert system.safe_set.contains_points(stats.states).all()
+
+    def test_decision_context_contents(self, di_setup, rng):
+        system, controller, monitor, _xi, xp = di_setup
+
+        seen = []
+
+        class Recorder(SkippingPolicy):
+            def decide(self, context):
+                seen.append(context)
+                return 1
+
+        W = self._disturbances(system, rng, steps=5)
+        IntermittentController(
+            system, controller, monitor, Recorder(), memory_length=3
+        ).run(xp.interior_point(), W)
+        assert len(seen) >= 1
+        first = seen[0]
+        assert first.time == 0
+        assert first.past_disturbances.shape == (3, 2)
+        np.testing.assert_allclose(first.past_disturbances[-1], W[0])
+        np.testing.assert_allclose(first.past_disturbances[:2], 0.0)
+        assert first.future_disturbances is None
+
+    def test_reveal_future(self, di_setup, rng):
+        system, controller, monitor, _xi, xp = di_setup
+
+        futures = []
+
+        class Recorder(SkippingPolicy):
+            def decide(self, context):
+                futures.append(context.future_disturbances)
+                return 1
+
+        W = self._disturbances(system, rng, steps=4)
+        IntermittentController(
+            system, controller, monitor, Recorder(), reveal_future=True
+        ).run(xp.interior_point(), W)
+        np.testing.assert_allclose(futures[0], W)
+        assert futures[-1].shape[0] == 1
+
+    def test_observe_hook_called_when_learning(self, di_setup, rng):
+        system, controller, monitor, _xi, xp = di_setup
+
+        calls = []
+
+        class Learner(AlwaysSkipPolicy):
+            def observe(self, context, decision, forced, next_state, applied_input):
+                calls.append((context.time, decision, forced))
+
+        W = self._disturbances(system, rng, steps=6)
+        IntermittentController(system, controller, monitor, Learner()).run(
+            xp.interior_point(), W, learn=True
+        )
+        assert len(calls) == 6
+
+    def test_memory_length_validation(self, di_setup):
+        system, controller, monitor, _xi, _xp = di_setup
+        with pytest.raises(ValueError):
+            IntermittentController(
+                system, controller, monitor, AlwaysSkipPolicy(), memory_length=0
+            )

@@ -1,0 +1,90 @@
+"""Property-based tests for the framework's accounting invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.framework import RunStats, computation_saving
+
+FAST = settings(max_examples=50, deadline=None)
+
+
+@FAST
+@given(
+    st.floats(1e-4, 1.0),
+    st.floats(1e-6, 1e-2),
+    st.integers(1, 1000),
+)
+def test_saving_bounds(controller_time, monitor_time, steps):
+    """Saving is at most 1 and equals the per-step overhead ratio when
+    everything is skipped."""
+    full_skip = computation_saving(controller_time, monitor_time, steps, steps)
+    no_skip = computation_saving(controller_time, monitor_time, steps, 0)
+    assert full_skip <= 1.0
+    assert full_skip == pytest.approx(1.0 - monitor_time / controller_time)
+    assert no_skip == pytest.approx(-monitor_time / controller_time)
+
+
+@FAST
+@given(
+    st.floats(1e-3, 1.0),
+    st.floats(1e-6, 1e-4),
+    st.integers(2, 500),
+    st.data(),
+)
+def test_saving_monotone_in_skips(controller_time, monitor_time, steps, data):
+    """More skipped steps never reduce the computation saving."""
+    a = data.draw(st.integers(0, steps))
+    b = data.draw(st.integers(0, steps))
+    low, high = sorted((a, b))
+    assert computation_saving(
+        controller_time, monitor_time, steps, high
+    ) >= computation_saving(controller_time, monitor_time, steps, low) - 1e-12
+
+
+def _stats_from(decisions, inputs):
+    decisions = np.asarray(decisions, dtype=int)
+    inputs = np.asarray(inputs, dtype=float).reshape(len(decisions), 1)
+    T = len(decisions)
+    return RunStats(
+        states=np.zeros((T + 1, 2)),
+        inputs=inputs,
+        decisions=decisions,
+        forced=np.zeros(T, dtype=bool),
+        controller_seconds=np.where(decisions == 1, 1e-3, 0.0),
+        monitor_seconds=np.full(T, 1e-5),
+        disturbances=np.zeros((T, 2)),
+    )
+
+
+@FAST
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=60))
+def test_skip_rate_consistency(decisions):
+    stats = _stats_from(decisions, [1.0] * len(decisions))
+    assert stats.skipped_steps + int(np.sum(stats.decisions)) == stats.steps
+    assert 0.0 <= stats.skip_rate <= 1.0
+    assert stats.skip_rate == pytest.approx(
+        stats.skipped_steps / stats.steps
+    )
+
+
+@FAST
+@given(
+    st.lists(
+        st.floats(-5.0, 5.0, allow_nan=False), min_size=1, max_size=60
+    )
+)
+def test_energy_is_l1_norm(inputs):
+    stats = _stats_from([1] * len(inputs), inputs)
+    assert stats.energy == pytest.approx(float(np.abs(inputs).sum()))
+    assert stats.energy >= 0.0
+
+
+@FAST
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=40))
+def test_summary_round_trips_fields(decisions):
+    stats = _stats_from(decisions, [0.5] * len(decisions))
+    summary = stats.summary()
+    assert summary["steps"] == stats.steps
+    assert summary["skipped"] == stats.skipped_steps
+    assert summary["energy_l1"] == pytest.approx(stats.energy)

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the geometry kernel.
+
+These check the algebraic laws the invariance computations rely on:
+erosion/dilation duality, support-function subadditivity, monotonicity of
+the set operations, and soundness of preimages.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import HPolytope
+
+# Keep each property test fast: geometry ops run several LPs per call.
+FAST = settings(max_examples=25, deadline=None)
+
+
+def boxes(dim=2, max_half=3.0):
+    """Strategy: random full-dimensional boxes around random centres."""
+    center = st.lists(
+        st.floats(-2.0, 2.0, allow_nan=False), min_size=dim, max_size=dim
+    )
+    half = st.lists(
+        st.floats(0.05, max_half, allow_nan=False), min_size=dim, max_size=dim
+    )
+    return st.tuples(center, half).map(
+        lambda ch: HPolytope.from_box(
+            np.array(ch[0]) - np.array(ch[1]), np.array(ch[0]) + np.array(ch[1])
+        )
+    )
+
+
+def directions(dim=2):
+    """Strategy: non-zero direction vectors."""
+    return st.lists(
+        st.floats(-1.0, 1.0, allow_nan=False), min_size=dim, max_size=dim
+    ).filter(lambda v: float(np.linalg.norm(v)) > 1e-3).map(np.array)
+
+
+@FAST
+@given(boxes(), boxes(), directions())
+def test_support_additive_under_minkowski_sum(p, q, d):
+    total = p.minkowski_sum(q)
+    assert total.support(d) == pytest.approx(p.support(d) + q.support(d), abs=1e-6)
+
+
+@FAST
+@given(boxes(), boxes())
+def test_erosion_then_dilation_is_contained(p, q):
+    # (P ⊖ Q) ⊕ Q ⊆ P always (equality only for special shapes).
+    eroded = p.pontryagin_difference(q)
+    if eroded.is_empty():
+        return
+    back = eroded.minkowski_sum(q)
+    assert p.contains_polytope(back, tol=1e-6)
+
+
+@FAST
+@given(boxes(), boxes())
+def test_erosion_membership_certificate(p, q):
+    eroded = p.pontryagin_difference(q)
+    if eroded.is_empty():
+        return
+    center, radius = eroded.chebyshev_center()
+    if radius < 0:
+        return
+    for vertex in q.vertices():
+        assert p.contains(center + vertex, tol=1e-6)
+
+
+def origin_boxes(dim=2, max_half=3.0):
+    """Strategy: boxes that contain the origin (0 ∈ B)."""
+    half = st.lists(
+        st.floats(0.05, max_half, allow_nan=False), min_size=dim, max_size=dim
+    )
+    return half.map(
+        lambda h: HPolytope.from_box(-np.array(h), np.array(h))
+    )
+
+
+@FAST
+@given(boxes(), origin_boxes(), origin_boxes())
+def test_containment_is_transitive(a, b, c):
+    # Summing origin-containing sets only grows a set, and containment
+    # chains transitively.
+    small = a
+    mid = a.minkowski_sum(b)
+    large = mid.minkowski_sum(c)
+    assert mid.contains_polytope(small, tol=1e-6)
+    assert large.contains_polytope(mid, tol=1e-6)
+    assert large.contains_polytope(small, tol=1e-6)
+
+
+@FAST
+@given(boxes(), st.floats(0.1, 3.0, allow_nan=False))
+def test_scale_support_homogeneous(p, alpha):
+    d = np.array([0.7, -0.3])
+    # Scaling about the origin scales the support function.
+    assert p.scale(alpha).support(d) == pytest.approx(
+        alpha * p.support(d), rel=1e-9, abs=1e-9
+    )
+
+
+@FAST
+@given(boxes(), directions())
+def test_translate_shifts_support(p, d):
+    t = np.array([0.5, -1.0])
+    moved = p.translate(t)
+    assert moved.support(d) == pytest.approx(
+        p.support(d) + float(d @ t), abs=1e-8
+    )
+
+
+@FAST
+@given(boxes())
+def test_preimage_soundness(p):
+    A = np.array([[0.8, 0.2], [-0.1, 1.1]])
+    pre = p.linear_preimage(A)
+    rng = np.random.default_rng(0)
+    if pre.is_empty():
+        return
+    for x in pre.sample(rng, 10):
+        assert p.contains(A @ x, tol=1e-6)
+
+
+@FAST
+@given(boxes())
+def test_redundancy_removal_preserves_set(p):
+    # Duplicate every constraint, add a loose bounding box, then prune.
+    loose = HPolytope.from_box([-100.0, -100.0], [100.0, 100.0])
+    fat = HPolytope(
+        np.vstack([p.H, p.H, loose.H]), np.concatenate([p.h, p.h + 0.5, loose.h])
+    )
+    pruned = fat.remove_redundancies()
+    assert pruned.equals(p, tol=1e-6)
+    assert pruned.num_constraints <= p.num_constraints
+
+
+@FAST
+@given(boxes(), boxes())
+def test_intersection_is_largest_common_subset(p, q):
+    inter = p.intersect(q)
+    if inter.is_empty():
+        return
+    assert p.contains_polytope(inter, tol=1e-6)
+    assert q.contains_polytope(inter, tol=1e-6)
+
+
+@FAST
+@given(boxes())
+def test_vertices_reconstruct_polytope(p):
+    rebuilt = HPolytope.from_vertices(p.vertices())
+    assert rebuilt.equals(p, tol=1e-6)

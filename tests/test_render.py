@@ -1,0 +1,64 @@
+"""Tests for the ASCII polytope/trajectory renderer."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import HPolytope, ascii_sets, ascii_trajectory
+
+
+class TestAsciiSets:
+    def test_nested_boxes_paint_in_order(self, unit_box, small_box):
+        art = ascii_sets([unit_box, small_box], glyphs=[".", "#"], width=21, height=11)
+        lines = art.split("\n")
+        assert len(lines) == 11
+        # Centre cell shows the innermost glyph; just inside the window
+        # padding the outer set's glyph shows.
+        assert lines[5][10] == "#"
+        assert lines[5][1] == "."
+        assert lines[5][0] == " "  # 5% padding ring stays blank
+
+    def test_points_overlay(self, unit_box):
+        art = ascii_sets(
+            [unit_box], glyphs=["."], width=21, height=11,
+            points=np.array([[0.0, 0.0]]), point_glyph="X",
+        )
+        assert "X" in art
+
+    def test_explicit_bounds(self, unit_box):
+        art = ascii_sets(
+            [unit_box], glyphs=["."], width=11, height=5,
+            bounds=([-4.0, -4.0], [4.0, 4.0]),
+        )
+        lines = art.split("\n")
+        # With a 4x window, the box occupies only the central region.
+        assert lines[0].strip() == ""
+        assert "." in lines[2]
+
+    def test_glyph_count_mismatch(self, unit_box):
+        with pytest.raises(ValueError, match="glyph"):
+            ascii_sets([unit_box], glyphs=[".", "#"])
+
+    def test_rejects_non_2d(self):
+        box3 = HPolytope.from_box([-1] * 3, [1] * 3)
+        with pytest.raises(ValueError, match="2-D"):
+            ascii_sets([box3], glyphs=["."])
+
+
+class TestAsciiTrajectory:
+    def test_basic_plot(self):
+        art = ascii_trajectory([0.0, 1.0, 0.5], width=10, height=5, label="demo")
+        assert art.count("*") == 3
+        assert "demo" in art
+
+    def test_long_series_resampled(self):
+        art = ascii_trajectory(np.sin(np.linspace(0, 10, 500)), width=40, height=8)
+        grid_lines = art.split("\n")[:-1]
+        assert max(len(l) for l in grid_lines) <= 40
+
+    def test_constant_series(self):
+        art = ascii_trajectory([2.0, 2.0, 2.0], width=10, height=4)
+        assert "*" in art
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            ascii_trajectory([])

@@ -1,0 +1,301 @@
+"""Tests for the numpy RL substrate: MLP gradients, Adam, replay, DQN."""
+
+import numpy as np
+import pytest
+
+from repro.rl import (
+    Adam,
+    ConstantSchedule,
+    DQNConfig,
+    DoubleDQNAgent,
+    ExponentialSchedule,
+    LinearSchedule,
+    MLP,
+    ReplayBuffer,
+    TrainingHistory,
+    train_dqn,
+)
+
+
+class TestMLP:
+    def test_forward_shapes(self, rng):
+        net = MLP([3, 8, 2], rng)
+        out = net.forward(np.zeros((5, 3)))
+        assert out.shape == (5, 2)
+
+    def test_forward_promotes_1d(self, rng):
+        net = MLP([3, 8, 2], rng)
+        out = net.forward(np.zeros(3))
+        assert out.shape == (1, 2)
+
+    def test_gradients_match_finite_differences(self, rng):
+        """The manual backprop must agree with numerical gradients."""
+        net = MLP([2, 5, 3], rng)
+        x = rng.normal(size=(4, 2))
+        target = rng.normal(size=(4, 3))
+
+        def loss():
+            y = net.forward(x)
+            return 0.5 * float(np.sum((y - target) ** 2))
+
+        y = net.forward(x, train=True)
+        grads = net.backward(y - target)
+        eps = 1e-6
+        for p, g in zip(net.params, grads):
+            flat_idx = np.unravel_index(
+                rng.integers(p.size, size=3), p.shape
+            )
+            for idx in zip(*flat_idx):
+                original = p[idx]
+                p[idx] = original + eps
+                hi = loss()
+                p[idx] = original - eps
+                lo = loss()
+                p[idx] = original
+                numeric = (hi - lo) / (2 * eps)
+                assert g[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_backward_requires_forward_cache(self, rng):
+        net = MLP([2, 4, 1], rng)
+        with pytest.raises(RuntimeError, match="train=True"):
+            net.backward(np.zeros((1, 1)))
+
+    def test_copy_from(self, rng):
+        a = MLP([2, 4, 1], rng)
+        b = MLP([2, 4, 1], rng)
+        b.copy_from(a)
+        x = rng.normal(size=(3, 2))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_copy_from_architecture_mismatch(self, rng):
+        a = MLP([2, 4, 1], rng)
+        b = MLP([2, 5, 1], rng)
+        with pytest.raises(ValueError):
+            b.copy_from(a)
+
+    def test_soft_update_moves_params(self, rng):
+        a = MLP([2, 4, 1], rng)
+        b = MLP([2, 4, 1], rng)
+        before = b.params[0].copy()
+        b.soft_update_from(a, tau=0.5)
+        np.testing.assert_allclose(
+            b.params[0], 0.5 * before + 0.5 * a.params[0]
+        )
+
+    def test_state_dict_roundtrip(self, rng):
+        a = MLP([2, 4, 1], rng)
+        saved = a.state_dict()
+        x = rng.normal(size=(2, 2))
+        expected = a.forward(x).copy()
+        a.params[0] += 1.0
+        a.load_state_dict(saved)
+        np.testing.assert_allclose(a.forward(x), expected)
+
+    def test_needs_two_layer_sizes(self, rng):
+        with pytest.raises(ValueError):
+            MLP([3], rng)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self, rng):
+        target = np.array([1.0, -2.0, 3.0])
+        params = [np.zeros(3)]
+        opt = Adam(params, lr=0.05)
+        for _ in range(500):
+            grad = params[0] - target
+            opt.step([grad])
+        np.testing.assert_allclose(params[0], target, atol=1e-2)
+
+    def test_grad_clip_limits_norm(self):
+        params = [np.zeros(4)]
+        opt = Adam(params, lr=1.0, grad_clip=1.0)
+        opt.step([np.full(4, 100.0)])
+        # First Adam step magnitude is bounded by lr regardless, but the
+        # clipped gradient keeps moment estimates sane.
+        assert np.all(np.isfinite(params[0]))
+
+    def test_gradient_count_mismatch(self):
+        opt = Adam([np.zeros(2)])
+        with pytest.raises(ValueError):
+            opt.step([np.zeros(2), np.zeros(2)])
+
+
+class TestReplay:
+    def test_push_and_sample(self, rng):
+        buf = ReplayBuffer(10, rng)
+        for i in range(5):
+            buf.push([float(i)], i % 2, float(i), [float(i + 1)], False)
+        assert len(buf) == 5
+        batch = buf.sample(3)
+        assert batch.states.shape == (3, 1)
+        assert batch.actions.shape == (3,)
+
+    def test_ring_overwrite(self, rng):
+        buf = ReplayBuffer(3, rng)
+        for i in range(7):
+            buf.push([float(i)], 0, 0.0, [0.0], False)
+        assert len(buf) == 3
+        batch = buf.sample(3)
+        assert np.all(batch.states >= 4.0)
+
+    def test_sample_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            ReplayBuffer(4, rng).sample(1)
+
+    def test_capacity_validation(self, rng):
+        with pytest.raises(ValueError):
+            ReplayBuffer(0, rng)
+
+
+class TestSchedules:
+    def test_linear(self):
+        sched = LinearSchedule(1.0, 0.0, 10)
+        assert sched(0) == 1.0
+        assert sched(5) == pytest.approx(0.5)
+        assert sched(100) == 0.0
+
+    def test_exponential(self):
+        sched = ExponentialSchedule(1.0, 0.1, 0.5)
+        assert sched(0) == pytest.approx(1.0)
+        assert sched(1) == pytest.approx(0.55)
+        assert sched(1000) == pytest.approx(0.1)
+
+    def test_constant(self):
+        assert ConstantSchedule(0.3)(123) == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearSchedule(1.0, 0.0, 0)
+        with pytest.raises(ValueError):
+            ExponentialSchedule(1.0, 0.0, 1.5)
+        with pytest.raises(ValueError):
+            ConstantSchedule(2.0)
+
+
+class _TwoArmBandit:
+    """One-step environment: action 1 pays +1, action 0 pays 0."""
+
+    def __init__(self):
+        self.observation = np.array([1.0, -1.0])
+
+    def reset(self):
+        return self.observation
+
+    def step(self, action):
+        reward = 1.0 if action == 1 else 0.0
+        return self.observation, reward, True, {}
+
+
+class _CorridorEnv:
+    """A 5-cell corridor: action 1 moves right (+1 at the end), action 0
+    moves left.  Optimal policy always moves right."""
+
+    def __init__(self):
+        self.pos = 0
+
+    def reset(self):
+        self.pos = 0
+        return self._obs()
+
+    def _obs(self):
+        return np.array([self.pos / 4.0])
+
+    def step(self, action):
+        self.pos += 1 if action == 1 else -1
+        self.pos = max(self.pos, 0)
+        done = self.pos >= 4
+        reward = 1.0 if done else -0.05
+        return self._obs(), reward, done, {}
+
+
+class TestDoubleDQN:
+    def test_learns_bandit(self, rng):
+        cfg = DQNConfig(
+            state_dim=2, num_actions=2, hidden=(16,), gamma=0.9,
+            lr=5e-3, batch_size=16, buffer_capacity=500,
+            target_sync_every=20, learn_start=32,
+        )
+        agent = DoubleDQNAgent(cfg, rng)
+        env = _TwoArmBandit()
+        train_dqn(agent, env, episodes=150, max_steps=1)
+        assert agent.act(env.observation, epsilon=0.0) == 1
+        q = agent.q_values(env.observation)
+        assert q[1] > q[0]
+
+    def test_learns_corridor(self, rng):
+        cfg = DQNConfig(
+            state_dim=1, num_actions=2, hidden=(24,), gamma=0.95,
+            lr=3e-3, batch_size=32, buffer_capacity=2000,
+            target_sync_every=50, learn_start=64,
+        )
+        agent = DoubleDQNAgent(cfg, rng)
+        env = _CorridorEnv()
+        train_dqn(agent, env, episodes=120, max_steps=30)
+        # Greedy rollout should reach the goal in the minimum 4 steps.
+        obs = env.reset()
+        for step in range(4):
+            obs, reward, done, _ = env.step(agent.act(obs, 0.0))
+        assert done
+
+    def test_update_returns_none_before_learn_start(self, rng):
+        cfg = DQNConfig(state_dim=1, learn_start=100)
+        agent = DoubleDQNAgent(cfg, rng)
+        agent.remember([0.0], 0, 0.0, [0.0], False)
+        assert agent.update() is None
+
+    def test_target_sync(self, rng):
+        cfg = DQNConfig(
+            state_dim=1, hidden=(4,), learn_start=1, batch_size=4,
+            target_sync_every=5,
+        )
+        agent = DoubleDQNAgent(cfg, rng)
+        for i in range(10):
+            agent.remember([float(i)], i % 2, 1.0, [0.0], True)
+        for _ in range(5):
+            agent.update()
+        x = np.array([0.5])
+        np.testing.assert_allclose(
+            agent.online.forward(x), agent.target.forward(x)
+        )
+
+    def test_state_dict_roundtrip(self, rng):
+        cfg = DQNConfig(state_dim=2, hidden=(8,))
+        agent = DoubleDQNAgent(cfg, rng)
+        saved = agent.state_dict()
+        obs = np.array([0.3, -0.7])
+        expected = agent.q_values(obs).copy()
+        agent.online.params[0] += 1.0
+        agent.load_state_dict(saved)
+        np.testing.assert_allclose(agent.q_values(obs), expected)
+
+    def test_epsilon_one_is_random(self, rng):
+        cfg = DQNConfig(state_dim=1, hidden=(4,))
+        agent = DoubleDQNAgent(cfg, rng)
+        actions = {agent.act([0.0], epsilon=1.0) for _ in range(50)}
+        assert actions == {0, 1}
+
+
+class TestTrainingLoop:
+    def test_history_contents(self, rng):
+        cfg = DQNConfig(state_dim=2, hidden=(8,), learn_start=8, batch_size=4)
+        agent = DoubleDQNAgent(cfg, rng)
+        history = train_dqn(agent, _TwoArmBandit(), episodes=20, max_steps=1)
+        assert history.episodes == 20
+        assert len(history.epsilons) == 20
+        assert history.moving_average(5).shape == (16,)
+
+    def test_callback_invoked(self, rng):
+        cfg = DQNConfig(state_dim=2, hidden=(8,))
+        agent = DoubleDQNAgent(cfg, rng)
+        seen = []
+        train_dqn(
+            agent, _TwoArmBandit(), episodes=5, max_steps=1,
+            callback=lambda ep, ret: seen.append(ep),
+        )
+        assert seen == list(range(5))
+
+    def test_episode_validation(self, rng):
+        cfg = DQNConfig(state_dim=2)
+        agent = DoubleDQNAgent(cfg, rng)
+        with pytest.raises(ValueError):
+            train_dqn(agent, _TwoArmBandit(), episodes=0)

@@ -1,0 +1,75 @@
+"""Tests for the batch experiment runner and result serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.controllers import LinearFeedback, lqr_gain
+from repro.framework import BatchResult, BatchRunner, EpisodeRecord, SafetyMonitor
+from repro.invariance import maximal_rpi, strengthened_safe_set
+from repro.skipping import AlwaysSkipPolicy
+
+
+@pytest.fixture
+def batch_setup(double_integrator):
+    system = double_integrator
+    K = lqr_gain(system.A, system.B, np.eye(2), np.eye(1))
+    seed = system.safe_set.intersect(system.input_set.linear_preimage(K))
+    xi = maximal_rpi(
+        system.closed_loop_matrix(K), seed, system.disturbance_set
+    ).invariant_set
+    xp = strengthened_safe_set(system, xi)
+    runner = BatchRunner(
+        system,
+        LinearFeedback(K),
+        monitor_factory=lambda: SafetyMonitor(
+            strengthened_set=xp, invariant_set=xi, safe_set=system.safe_set
+        ),
+        policy_factory=AlwaysSkipPolicy,
+    )
+    return system, xp, runner
+
+
+class TestBatchRunner:
+    def test_run_collects_records(self, batch_setup, rng):
+        system, xp, runner = batch_setup
+        lo, hi = system.disturbance_set.bounding_box()
+        states = xp.sample(rng, 4)
+        result = runner.run(
+            states, lambda i: rng.uniform(lo, hi, size=(30, 2))
+        )
+        assert len(result) == 4
+        assert all(isinstance(r, EpisodeRecord) for r in result.records)
+        assert all(r.max_violation <= 1e-9 for r in result.records)
+        assert result.mean("skip_rate") > 0.5
+
+    def test_mean_of_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            BatchResult().mean("energy")
+
+    def test_json_roundtrip(self, batch_setup, rng, tmp_path):
+        system, xp, runner = batch_setup
+        lo, hi = system.disturbance_set.bounding_box()
+        result = runner.run(
+            xp.sample(rng, 2), lambda i: rng.uniform(lo, hi, size=(10, 2))
+        )
+        path = tmp_path / "batch.json"
+        result.to_json(path)
+        loaded = BatchResult.from_json(path)
+        assert len(loaded) == 2
+        assert loaded.records[0] == result.records[0]
+
+    def test_csv_export(self, batch_setup, rng, tmp_path):
+        system, xp, runner = batch_setup
+        lo, hi = system.disturbance_set.bounding_box()
+        result = runner.run(
+            xp.sample(rng, 2), lambda i: rng.uniform(lo, hi, size=(10, 2))
+        )
+        path = tmp_path / "batch.csv"
+        result.to_csv(path)
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 3
+        assert lines[0].startswith("episode,energy,skip_rate")
+
+    def test_csv_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            BatchResult().to_csv(tmp_path / "x.csv")

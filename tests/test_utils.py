@@ -1,0 +1,90 @@
+"""Tests for validation helpers and LP wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import as_matrix, as_vector, check_shape_match, check_square
+from repro.utils.lp import LPError, lp_feasible, maximize, solve_lp
+
+
+class TestValidation:
+    def test_as_matrix_accepts_lists(self):
+        m = as_matrix([[1, 2], [3, 4]])
+        assert m.shape == (2, 2)
+        assert m.dtype == float
+
+    def test_as_matrix_rejects_vector(self):
+        with pytest.raises(ValueError, match="2-D"):
+            as_matrix([1, 2, 3])
+
+    def test_as_matrix_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_matrix([[np.nan, 0.0]])
+
+    def test_as_matrix_copies(self):
+        src = np.eye(2)
+        m = as_matrix(src)
+        m[0, 0] = 5.0
+        assert src[0, 0] == 1.0
+
+    def test_as_vector_scalar(self):
+        v = as_vector(3.0)
+        assert v.shape == (1,)
+
+    def test_as_vector_column(self):
+        v = as_vector(np.ones((3, 1)))
+        assert v.shape == (3,)
+
+    def test_as_vector_row(self):
+        v = as_vector(np.ones((1, 4)))
+        assert v.shape == (4,)
+
+    def test_as_vector_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_vector(np.ones((2, 2)))
+
+    def test_as_vector_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_vector([np.inf])
+
+    def test_check_square(self):
+        check_square(np.eye(3))
+        with pytest.raises(ValueError, match="square"):
+            check_square(np.ones((2, 3)))
+
+    def test_check_shape_match(self):
+        check_shape_match((2, 3), (2, 3))
+        with pytest.raises(ValueError, match="expected"):
+            check_shape_match((2, 3), (3, 2), name="thing")
+
+
+class TestLP:
+    def test_solve_lp_free_variables(self):
+        # min x s.t. x >= -5  (free variables: answer -5, not 0).
+        sol = solve_lp([1.0], a_ub=[[-1.0]], b_ub=[5.0])
+        assert sol.x[0] == pytest.approx(-5.0)
+        assert sol.value == pytest.approx(-5.0)
+
+    def test_solve_lp_equality(self):
+        sol = solve_lp(
+            [1.0, 0.0], a_eq=[[1.0, 1.0]], b_eq=[2.0],
+            a_ub=[[0.0, 1.0]], b_ub=[1.5],
+        )
+        assert sol.x[0] == pytest.approx(0.5)
+
+    def test_solve_lp_infeasible_raises(self):
+        with pytest.raises(LPError, match="LP failed"):
+            solve_lp([1.0], a_ub=[[1.0], [-1.0]], b_ub=[-1.0, -1.0])
+
+    def test_solve_lp_unbounded_raises(self):
+        with pytest.raises(LPError):
+            solve_lp([-1.0], a_ub=[[-1.0]], b_ub=[0.0])
+
+    def test_lp_feasible_true_false(self):
+        assert lp_feasible([[1.0]], [1.0])
+        assert not lp_feasible([[1.0], [-1.0]], [-1.0, -1.0])
+
+    def test_maximize_flips_sign(self):
+        sol = maximize([1.0], [[1.0], [-1.0]], [2.0, 2.0])
+        assert sol.value == pytest.approx(2.0)
+        assert sol.x[0] == pytest.approx(2.0)
