@@ -1,0 +1,144 @@
+"""Episodes/sec of the batch engines: serial vs parallel fan-out.
+
+Standalone script (not a pytest-benchmark kernel) so CI can smoke it at
+tiny scale and operators can size worker pools::
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py \
+        --episodes 32 --horizon 100 --jobs 4
+
+It runs the same seeded bang-bang batch on the ACC case study through
+:class:`repro.framework.BatchRunner` (serial reference) and
+:class:`repro.framework.ParallelBatchRunner` at each requested worker
+count, reports episodes/sec and speedup, and cross-checks that every
+configuration produced record-for-record identical deterministic fields
+(the differential guarantee the test suite proves at small scale).
+
+Speedup scales with physical cores: on a single-CPU container the
+parallel engine adds fork overhead and reports ~1x or below, which is
+why the table always prints the visible CPU count next to the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.acc import acc_disturbance_factory, build_case_study
+from repro.framework import BatchRunner, ParallelBatchRunner
+from repro.skipping import AlwaysSkipPolicy
+
+
+def visible_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def run_benchmark(
+    episodes: int, horizon: int, jobs_list, seed: int, experiment: str = "overall"
+) -> dict:
+    """Time one serial and one parallel batch per worker count.
+
+    Returns:
+        Dict with per-configuration throughput and the serial baseline,
+        ready for JSON dumping.
+    """
+    case = build_case_study()
+    factory = acc_disturbance_factory(case, experiment, horizon)
+    rng = np.random.default_rng(seed)
+    states = case.sample_initial_states(rng, episodes)
+
+    def make_runner(cls, **extra):
+        return cls(
+            case.system,
+            case.mpc,
+            monitor_factory=case.make_monitor,
+            policy_factory=AlwaysSkipPolicy,
+            skip_input=case.skip_input,
+            **extra,
+        )
+
+    def timed(runner):
+        tick = time.perf_counter()
+        result = runner.run_seeded(states, factory, root_seed=seed)
+        return result, time.perf_counter() - tick
+
+    serial_result, serial_seconds = timed(make_runner(BatchRunner))
+    reference = serial_result.deterministic_records()
+    rows = [
+        {
+            "engine": "serial",
+            "jobs": 1,
+            "seconds": serial_seconds,
+            "episodes_per_sec": episodes / serial_seconds,
+            "speedup": 1.0,
+            "identical": True,
+        }
+    ]
+    for jobs in jobs_list:
+        result, seconds = timed(make_runner(ParallelBatchRunner, jobs=jobs))
+        rows.append(
+            {
+                "engine": "parallel",
+                "jobs": jobs,
+                "seconds": seconds,
+                "episodes_per_sec": episodes / seconds,
+                "speedup": serial_seconds / seconds,
+                "identical": result.deterministic_records() == reference,
+            }
+        )
+    return {
+        "episodes": episodes,
+        "horizon": horizon,
+        "seed": seed,
+        "cpus": visible_cpus(),
+        "rows": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--episodes", type=int, default=32)
+    parser.add_argument("--horizon", type=int, default=100)
+    parser.add_argument(
+        "--jobs", type=int, nargs="+", default=[2, 4],
+        help="parallel worker counts to benchmark (serial is always run)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--experiment", default="overall")
+    parser.add_argument("--json", default=None, help="also dump results here")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        args.episodes, args.horizon, args.jobs, args.seed, args.experiment
+    )
+    print(
+        f"batch throughput: {report['episodes']} episodes x "
+        f"{report['horizon']} steps, {report['cpus']} visible CPU(s)"
+    )
+    print(f"{'engine':<10} {'jobs':>4} {'sec':>8} {'ep/s':>8} {'speedup':>8} {'identical':>9}")
+    for row in report["rows"]:
+        print(
+            f"{row['engine']:<10} {row['jobs']:>4} {row['seconds']:>8.2f} "
+            f"{row['episodes_per_sec']:>8.2f} {row['speedup']:>7.2f}x "
+            f"{str(row['identical']):>9}"
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.json}")
+    if not all(row["identical"] for row in report["rows"]):
+        print("ERROR: parallel records diverged from the serial reference")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ from repro.acc.experiments import (
     FIG4_BIN_EDGES,
     ApproachStats,
     ComparisonResult,
+    acc_disturbance_factory,
     case_study_for_experiment,
     evaluate_approaches,
     experiment_vf_range,
@@ -22,6 +23,7 @@ __all__ = [
     "clear_case_study_cache",
     "ACCSkippingEnv",
     "train_skipping_agent",
+    "acc_disturbance_factory",
     "evaluate_approaches",
     "case_study_for_experiment",
     "experiment_vf_range",

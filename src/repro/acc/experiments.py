@@ -27,11 +27,13 @@ from repro.rl.training import TrainingHistory, train_dqn
 from repro.skipping.base import AlwaysSkipPolicy, SkippingPolicy
 from repro.skipping.drl import DRLSkippingPolicy
 from repro.traffic.patterns import experiment_pattern
+from repro.utils.parallel import fork_map
 
 __all__ = [
     "experiment_vf_range",
     "case_study_for_experiment",
     "train_skipping_agent",
+    "acc_disturbance_factory",
     "ApproachStats",
     "ComparisonResult",
     "evaluate_approaches",
@@ -163,6 +165,22 @@ def train_skipping_agent(
     return best
 
 
+def acc_disturbance_factory(case: ACCCaseStudy, experiment: str, horizon: int):
+    """A seeded per-episode disturbance factory for the ACC case study.
+
+    Returns a ``(episode, rng) -> (T, n)`` callable for the batch
+    runners' ``run_seeded``: each episode builds its own front-vehicle
+    pattern from its private generator, so realisations depend only on
+    the root seed and the episode index — never on worker scheduling.
+    """
+
+    def factory(episode: int, rng) -> np.ndarray:
+        pattern = experiment_pattern(experiment, rng, dt=case.params.delta)
+        return case.coords.disturbance_from_vf(pattern.generate(horizon))
+
+    return factory
+
+
 @dataclass
 class ApproachStats:
     """Per-case metrics of one control approach over the evaluation set.
@@ -250,6 +268,7 @@ def evaluate_approaches(
     agent: Optional[DoubleDQNAgent] = None,
     drl_policy: Optional[SkippingPolicy] = None,
     memory_length: int = 1,
+    jobs: int = 1,
 ) -> ComparisonResult:
     """Run the paired three-way comparison of the paper's Sec. IV.
 
@@ -265,6 +284,12 @@ def evaluate_approaches(
         agent: Trained DQN agent; omit to skip the DRL approach.
         drl_policy: Pre-built policy overriding ``agent``.
         memory_length: ``r`` used when building the DRL policy.
+        jobs: Worker processes for the per-case fan-out (``None``/0 = one
+            per CPU).  All realisations are drawn up front in the parent,
+            so any ``jobs`` value yields the same fuel/energy/skip/forced
+            numbers as ``jobs=1`` — only the wall-clock columns
+            (``mean_controller_ms``/``mean_monitor_ms``) vary with worker
+            contention.
 
     Returns:
         A :class:`ComparisonResult`.
@@ -272,6 +297,13 @@ def evaluate_approaches(
     rng = np.random.default_rng(seed)
     pattern = experiment_pattern(experiment, rng, dt=case.params.delta)
     initial_states = case.sample_initial_states(rng, num_cases)
+    # Pre-draw every realisation in case order (identical generator
+    # consumption to the historical serial loop) so the fan-out below is
+    # free to run cases in any order on any worker.
+    realisations = [
+        case.coords.disturbance_from_vf(pattern.generate(horizon))
+        for _ in range(num_cases)
+    ]
 
     policy_drl = drl_policy
     if policy_drl is None and agent is not None:
@@ -286,15 +318,10 @@ def evaluate_approaches(
     if policy_drl is not None:
         approaches["drl"] = policy_drl
 
-    collected = {
-        name: {"fuel": [], "energy": [], "skip": [], "forced": [],
-               "ctrl_ms": [], "mon_ms": []}
-        for name in approaches
-    }
-    for i in range(num_cases):
-        vf = pattern.generate(horizon)
-        disturbances = case.coords.disturbance_from_vf(vf)
+    def evaluate_case(i: int) -> dict:
         x0 = initial_states[i]
+        disturbances = realisations[i]
+        metrics = {}
         for name, policy in approaches.items():
             if policy is None:
                 stats = run_controller_only(case.system, case.mpc, x0, disturbances)
@@ -308,13 +335,30 @@ def evaluate_approaches(
                     memory_length=memory_length,
                 )
                 stats = runner.run(x0, disturbances)
+            metrics[name] = (
+                case.fuel_of_run(stats),
+                case.raw_energy_of_run(stats),
+                stats.skip_rate,
+                stats.forced_steps,
+                1e3 * stats.mean_controller_time,
+                1e3 * stats.mean_monitor_time,
+            )
+        return metrics
+
+    per_case = fork_map(evaluate_case, range(num_cases), jobs=jobs)
+
+    collected = {
+        name: {"fuel": [], "energy": [], "skip": [], "forced": [],
+               "ctrl_ms": [], "mon_ms": []}
+        for name in approaches
+    }
+    for metrics in per_case:
+        for name, values in metrics.items():
             bucket = collected[name]
-            bucket["fuel"].append(case.fuel_of_run(stats))
-            bucket["energy"].append(case.raw_energy_of_run(stats))
-            bucket["skip"].append(stats.skip_rate)
-            bucket["forced"].append(stats.forced_steps)
-            bucket["ctrl_ms"].append(1e3 * stats.mean_controller_time)
-            bucket["mon_ms"].append(1e3 * stats.mean_monitor_time)
+            for key, value in zip(
+                ("fuel", "energy", "skip", "forced", "ctrl_ms", "mon_ms"), values
+            ):
+                bucket[key].append(value)
 
     def finalize(name: str) -> ApproachStats:
         bucket = collected[name]

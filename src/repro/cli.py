@@ -6,9 +6,19 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli compare --cases 12   # Sec. IV-A three-way comparison
     python -m repro.cli experiment ex5       # one Table-I/Fig-5/6 scenario
     python -m repro.cli timing               # computation-saving numbers
+    python -m repro.cli batch --episodes 64 --jobs 4 --seed 7 --out b.json
 
 Each subcommand prints the same tables the benchmark suite emits, at a
 scale chosen via flags, so results can be regenerated without pytest.
+
+Parallel execution: ``batch``, ``compare`` and ``experiment`` accept
+``--jobs N`` to fan episodes/cases out over ``N`` forked worker
+processes (``--jobs 0`` = one per CPU).  Results are reproducible by
+construction: ``--seed S`` fixes a root seed from which every episode
+derives its own private ``numpy`` generator stream, so any ``--jobs``
+value produces the same deterministic record fields (energy, skip rate,
+forced steps, violations) as a serial run — wall-clock timing fields
+naturally vary with worker contention.
 """
 
 from __future__ import annotations
@@ -50,7 +60,7 @@ def _cmd_compare(args) -> int:
     )
     result = evaluate_approaches(
         case, args.experiment, num_cases=args.cases, horizon=args.horizon,
-        seed=args.seed + 1, agent=agent,
+        seed=args.seed + 1, agent=agent, jobs=args.jobs,
     )
     print(f"\n{'approach':<12} {'fuel[g]':>8} {'saving':>8} {'skip%':>6}")
     print(f"{'RMPC-only':<12} {result.rmpc_only.fuel.mean():8.2f} {'-':>8} {0:5d}%")
@@ -78,7 +88,7 @@ def _cmd_experiment(args) -> int:
     )
     result = evaluate_approaches(
         case, args.name, num_cases=args.cases, horizon=args.horizon,
-        seed=args.seed + 1, agent=agent,
+        seed=args.seed + 1, agent=agent, jobs=args.jobs,
     )
     print(
         f"{args.name}: DRL saving {100*result.fuel_saving('drl').mean():.2f}%  "
@@ -86,6 +96,48 @@ def _cmd_experiment(args) -> int:
         f"(skip {result.drl.skip_rate.mean():.2f}, "
         f"forced {result.drl.forced_steps.mean():.1f})"
     )
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    import time
+
+    from repro.acc import acc_disturbance_factory, build_case_study
+    from repro.framework import ParallelBatchRunner
+    from repro.skipping import AlwaysSkipPolicy
+
+    case = build_case_study()
+    runner = ParallelBatchRunner(
+        case.system,
+        case.mpc,
+        monitor_factory=case.make_monitor,
+        policy_factory=AlwaysSkipPolicy,
+        skip_input=case.skip_input,
+        jobs=args.jobs,
+    )
+    rng = np.random.default_rng(args.seed)
+    states = case.sample_initial_states(rng, args.episodes)
+    factory = acc_disturbance_factory(case, args.experiment, args.horizon)
+    tick = time.perf_counter()
+    result = runner.run_seeded(states, factory, root_seed=args.seed)
+    elapsed = time.perf_counter() - tick
+    print(
+        f"{len(result)} episodes in {elapsed:.2f}s "
+        f"({len(result) / elapsed:.2f} ep/s, jobs={args.jobs})"
+    )
+    if result.records:
+        print(
+            f"skip rate {result.mean('skip_rate'):.3f}  "
+            f"energy {result.mean('energy'):.3f}  "
+            f"forced {result.mean('forced_steps'):.2f}  "
+            f"max violation {max(r.max_violation for r in result.records):.2e}"
+        )
+    if args.out:
+        if args.out.endswith(".csv"):
+            result.to_csv(args.out)
+        else:
+            result.to_json(args.out)
+        print(f"records written to {args.out}")
     return 0
 
 
@@ -112,6 +164,16 @@ def _cmd_timing(args) -> int:
     return 0
 
 
+def _job_count(value: str) -> int:
+    """argparse type for ``--jobs``: non-negative int (0 = one per CPU)."""
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            "jobs must be >= 0 (0 = one worker per CPU)"
+        )
+    return count
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -131,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--episodes", type=int, default=120)
     p_cmp.add_argument("--restarts", type=int, default=1)
     p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument(
+        "--jobs", type=_job_count, default=1,
+        help="evaluation worker processes (0 = one per CPU)",
+    )
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_exp = sub.add_parser("experiment", help="run one ex1..ex10 scenario")
@@ -140,7 +206,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--episodes", type=int, default=80)
     p_exp.add_argument("--restarts", type=int, default=1)
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument(
+        "--jobs", type=_job_count, default=1,
+        help="evaluation worker processes (0 = one per CPU)",
+    )
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_bat = sub.add_parser(
+        "batch",
+        help="run a seeded bang-bang episode batch (serial or parallel)",
+    )
+    p_bat.add_argument("--episodes", type=int, default=16)
+    p_bat.add_argument("--horizon", type=int, default=100)
+    p_bat.add_argument("--experiment", default="overall")
+    p_bat.add_argument(
+        "--jobs", type=_job_count, default=1,
+        help="worker processes (0 = one per CPU, 1 = serial)",
+    )
+    p_bat.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed for the per-episode generator streams",
+    )
+    p_bat.add_argument(
+        "--out", default=None,
+        help="write records to this path (.csv for CSV, else JSON)",
+    )
+    p_bat.set_defaults(func=_cmd_batch)
 
     p_tim = sub.add_parser("timing", help="computation-saving numbers")
     p_tim.set_defaults(func=_cmd_timing)

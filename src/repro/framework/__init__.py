@@ -3,7 +3,14 @@
 from repro.framework.accounting import RunStats, computation_saving
 from repro.framework.intermittent import IntermittentController, run_controller_only
 from repro.framework.monitor import SafetyMonitor, SafetyViolationError, StateClass
-from repro.framework.runner import BatchResult, BatchRunner, EpisodeRecord
+from repro.framework.runner import (
+    DETERMINISTIC_FIELDS,
+    BatchResult,
+    BatchRunner,
+    EpisodeRecord,
+    ParallelBatchRunner,
+    spawn_episode_seeds,
+)
 
 __all__ = [
     "SafetyMonitor",
@@ -14,6 +21,9 @@ __all__ = [
     "RunStats",
     "computation_saving",
     "BatchRunner",
+    "ParallelBatchRunner",
     "BatchResult",
     "EpisodeRecord",
+    "DETERMINISTIC_FIELDS",
+    "spawn_episode_seeds",
 ]

@@ -106,6 +106,14 @@ class RunStats:
         """Mean monitor + Ω wall-clock per step."""
         return float(self.monitor_seconds.mean())
 
+    def max_violation(self, safe_set) -> float:
+        """Largest ``safe_set`` violation over all visited states.
+
+        One :meth:`~repro.geometry.HPolytope.violation_batch` broadcast over
+        the ``(T+1, n)`` trajectory; <= 0 means the run never left the set.
+        """
+        return float(np.max(safe_set.violation_batch(self.states)))
+
     def computation_saving(self) -> float:
         """Sec. IV-A saving ratio for this run (see module docstring)."""
         t_controller = self.mean_controller_time

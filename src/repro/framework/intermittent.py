@@ -106,7 +106,10 @@ class IntermittentController:
         for t in range(horizon):
             # w(t) is observable at decision time (e.g. radar-measured
             # front-vehicle velocity), matching the paper's DRL state.
-            history = np.vstack([history[1:], W[t][None, :]]) if r > 1 else W[t][None, :]
+            # The window is shifted in place; only the context gets a copy.
+            if r > 1:
+                history[:-1] = history[1:]
+            history[-1] = W[t]
             context = DecisionContext(
                 time=t,
                 state=states[t].copy(),

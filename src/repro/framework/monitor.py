@@ -64,7 +64,13 @@ class SafetyMonitor:
             raise ValueError("XI must be a subset of the safe set X")
 
     def classify(self, state) -> StateClass:
-        """Classify ``state``; raises on contract violation when strict."""
+        """Classify ``state``; raises on contract violation when strict.
+
+        Scalar fast path: short-circuits after the ``X'`` test in the
+        common case.  This sits inside Algorithm 1's timed monitor
+        section, so its cost is a *measured* quantity — keep it lean and
+        use :meth:`classify_batch` for whole-trajectory scans instead.
+        """
         if self.strengthened_set.contains(state, self.tol):
             return StateClass.STRENGTHENED
         if self.invariant_set.contains(state, self.tol):
@@ -75,6 +81,48 @@ class SafetyMonitor:
                 f"state {np.asarray(state)} left the robust invariant set"
             )
         return StateClass.UNSAFE_REGION
+
+    def classify_batch(self, states) -> list:
+        """Classify every row of a ``(T, n)`` state array at once.
+
+        Runs the two set-membership tests as single
+        :meth:`~repro.geometry.HPolytope.contains_batch` broadcasts instead
+        of ``T`` scalar checks, then applies exactly the sequential
+        semantics of :meth:`classify`:
+
+        * strict monitors raise at the *first* state outside ``XI``, having
+          counted that one violation (states after it are never reached in
+          the sequential contract, so they are not counted);
+        * non-strict monitors count every violating state and report
+          :data:`StateClass.UNSAFE_REGION` for each.
+
+        Returns:
+            List of ``T`` :class:`StateClass` values, aligned with rows.
+        """
+        X = np.atleast_2d(np.asarray(states, dtype=float))
+        in_strengthened = self.strengthened_set.contains_batch(X, self.tol)
+        in_invariant = self.invariant_set.contains_batch(X, self.tol)
+        # Mirror the scalar short-circuit: a state the X' test accepts is
+        # never treated as a violation, even if the XI test would reject
+        # it at the tolerance boundary.
+        unsafe = ~in_strengthened & ~in_invariant
+        if np.any(unsafe):
+            if self.strict:
+                first = int(np.argmax(unsafe))
+                self.violations += 1
+                raise SafetyViolationError(
+                    f"state {X[first]} left the robust invariant set"
+                )
+            self.violations += int(np.sum(unsafe))
+        classes = []
+        for strengthened, invariant in zip(in_strengthened, in_invariant):
+            if strengthened:
+                classes.append(StateClass.STRENGTHENED)
+            elif invariant:
+                classes.append(StateClass.INVARIANT_ONLY)
+            else:
+                classes.append(StateClass.UNSAFE_REGION)
+        return classes
 
     def may_skip(self, state) -> bool:
         """Algorithm 1 line 5: True iff Ω is allowed to decide at ``state``."""

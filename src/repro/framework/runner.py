@@ -1,16 +1,30 @@
-"""Batch experiment runner with result records and serialisation.
+"""Batch experiment runners with result records and serialisation.
 
 Wraps many :meth:`IntermittentController.run` episodes over sampled
 initial states and disturbance realisations, collects per-episode
 records, and exports them as JSON or CSV — the layer the benchmark
 harness and user sweeps script against.
+
+Two execution engines share one record format:
+
+* :class:`BatchRunner` — the sequential reference implementation;
+* :class:`ParallelBatchRunner` — fans episodes out over forked worker
+  processes (:func:`repro.utils.parallel.fork_map`) and merges the
+  results back in episode order.
+
+Determinism contract: :meth:`BatchRunner.run_seeded` derives one
+independent ``numpy.random.Generator`` per episode from a single root
+seed via ``SeedSequence.spawn`` — episode ``i`` sees the same stream no
+matter how many workers run the batch or which worker it lands on, so
+parallel results are record-for-record reproducible against serial ones
+(wall-clock timing fields excepted; see :data:`DETERMINISTIC_FIELDS`).
 """
 
 from __future__ import annotations
 
 import csv
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
@@ -21,8 +35,37 @@ from repro.framework.intermittent import IntermittentController, run_controller_
 from repro.framework.monitor import SafetyMonitor
 from repro.skipping.base import SkippingPolicy
 from repro.systems.lti import DiscreteLTISystem
+from repro.utils.parallel import fork_map
 
-__all__ = ["EpisodeRecord", "BatchResult", "BatchRunner"]
+__all__ = [
+    "EpisodeRecord",
+    "BatchResult",
+    "BatchRunner",
+    "ParallelBatchRunner",
+    "DETERMINISTIC_FIELDS",
+    "spawn_episode_seeds",
+]
+
+#: Record fields that are pure functions of (initial state, disturbance
+#: realisation): identical between serial and parallel execution.  The
+#: remaining fields are wall-clock measurements and vary run to run.
+DETERMINISTIC_FIELDS = (
+    "episode",
+    "energy",
+    "skip_rate",
+    "forced_steps",
+    "max_violation",
+)
+
+
+def spawn_episode_seeds(root_seed, count: int) -> list:
+    """Independent per-episode seed streams from one root seed.
+
+    ``SeedSequence.spawn`` guarantees the children are statistically
+    independent and — crucially for the differential harness — that child
+    ``i`` depends only on ``(root_seed, i)``, never on scheduling.
+    """
+    return np.random.SeedSequence(root_seed).spawn(int(count))
 
 
 @dataclass(frozen=True)
@@ -50,6 +93,10 @@ class EpisodeRecord:
     computation_saving: float
     max_violation: float
 
+    def deterministic_view(self) -> tuple:
+        """The scheduling-independent fields (see DETERMINISTIC_FIELDS)."""
+        return tuple(getattr(self, name) for name in DETERMINISTIC_FIELDS)
+
 
 @dataclass
 class BatchResult:
@@ -60,6 +107,10 @@ class BatchResult:
     def append(self, record: EpisodeRecord) -> None:
         self.records.append(record)
 
+    def extend(self, records: Sequence[EpisodeRecord]) -> None:
+        """Append many records (used when merging worker chunks)."""
+        self.records.extend(records)
+
     def __len__(self) -> int:
         return len(self.records)
 
@@ -69,16 +120,26 @@ class BatchResult:
             raise ValueError("empty batch")
         return float(np.mean([getattr(r, metric) for r in self.records]))
 
+    def deterministic_records(self) -> list:
+        """Per-episode tuples of the scheduling-independent fields.
+
+        The differential test harness compares these between serial and
+        parallel runs; wall-clock fields are excluded by construction.
+        """
+        return [record.deterministic_view() for record in self.records]
+
     def to_json(self, path) -> None:
-        """Write records as a JSON array."""
+        """Write records as a JSON array (``[]`` for an empty batch)."""
         payload = [asdict(r) for r in self.records]
         Path(path).write_text(json.dumps(payload, indent=2))
 
     def to_csv(self, path) -> None:
-        """Write records as CSV with a header row."""
-        if not self.records:
-            raise ValueError("empty batch")
-        fieldnames = list(asdict(self.records[0]).keys())
+        """Write records as CSV with a header row.
+
+        An empty batch writes the header only, mirroring the ``[]`` that
+        :meth:`to_json` produces, so both formats round-trip any batch.
+        """
+        fieldnames = [f.name for f in fields(EpisodeRecord)]
         with open(path, "w", newline="") as handle:
             writer = csv.DictWriter(handle, fieldnames=fieldnames)
             writer.writeheader()
@@ -94,13 +155,30 @@ class BatchResult:
             result.append(EpisodeRecord(**row))
         return result
 
+    @classmethod
+    def from_csv(cls, path) -> "BatchResult":
+        """Load a batch previously saved with :meth:`to_csv`."""
+        types = {f.name: f.type for f in fields(EpisodeRecord)}
+        result = cls()
+        with open(path, newline="") as handle:
+            for row in csv.DictReader(handle):
+                coerced = {
+                    name: (int(value) if types[name] == "int" else float(value))
+                    for name, value in row.items()
+                }
+                result.append(EpisodeRecord(**coerced))
+        return result
+
 
 class BatchRunner:
     """Run many monitored episodes and collect :class:`EpisodeRecord` s.
 
     Args:
         system: The plant.
-        controller: Safe controller κ.
+        controller: Safe controller κ.  It is shared across episodes and
+            must return to a pristine state on ``reset()`` (true for the
+            library's controllers) so episode results are independent of
+            execution order — the property the parallel engine relies on.
         monitor_factory: Zero-argument callable producing a fresh
             :class:`SafetyMonitor` per episode (monitors carry violation
             counters, so sharing one across episodes muddles stats).
@@ -128,6 +206,36 @@ class BatchRunner:
         self.memory_length = memory_length
         self.reveal_future = reveal_future
 
+    # ------------------------------------------------------------------
+    # Episode execution
+    # ------------------------------------------------------------------
+    def _run_one(self, episode: int, x0, disturbances) -> EpisodeRecord:
+        """Run a single episode and flatten its stats into a record."""
+        runner = IntermittentController(
+            self.system,
+            self.controller,
+            self.monitor_factory(),
+            self.policy_factory(),
+            skip_input=self.skip_input,
+            memory_length=self.memory_length,
+            reveal_future=self.reveal_future,
+        )
+        stats = runner.run(x0, disturbances)
+        return EpisodeRecord(
+            episode=episode,
+            energy=stats.energy,
+            skip_rate=stats.skip_rate,
+            forced_steps=stats.forced_steps,
+            mean_controller_ms=1e3 * stats.mean_controller_time,
+            mean_monitor_ms=1e3 * stats.mean_monitor_time,
+            computation_saving=stats.computation_saving(),
+            max_violation=stats.max_violation(self.system.safe_set),
+        )
+
+    @staticmethod
+    def _initial_states(initial_states) -> np.ndarray:
+        return np.atleast_2d(np.asarray(initial_states, dtype=float))
+
     def run(
         self,
         initial_states,
@@ -139,36 +247,131 @@ class BatchRunner:
             initial_states: ``(N, n)`` array of start states (each must
                 lie in the monitor's invariant set).
             disturbance_sampler: ``episode_index -> (T, n)`` realisation.
+                Called in episode order exactly once per episode (so a
+                sampler closing over a shared generator is reproducible).
 
         Returns:
             A :class:`BatchResult` with ``N`` records.
         """
         result = BatchResult()
-        states = np.atleast_2d(np.asarray(initial_states, dtype=float))
+        states = self._initial_states(initial_states)
         for episode, x0 in enumerate(states):
-            runner = IntermittentController(
-                self.system,
-                self.controller,
-                self.monitor_factory(),
-                self.policy_factory(),
-                skip_input=self.skip_input,
-                memory_length=self.memory_length,
-                reveal_future=self.reveal_future,
-            )
-            stats = runner.run(x0, disturbance_sampler(episode))
-            violations = [
-                self.system.safe_set.violation(state) for state in stats.states
-            ]
             result.append(
-                EpisodeRecord(
-                    episode=episode,
-                    energy=stats.energy,
-                    skip_rate=stats.skip_rate,
-                    forced_steps=stats.forced_steps,
-                    mean_controller_ms=1e3 * stats.mean_controller_time,
-                    mean_monitor_ms=1e3 * stats.mean_monitor_time,
-                    computation_saving=stats.computation_saving(),
-                    max_violation=float(max(violations)),
-                )
+                self._run_one(episode, x0, disturbance_sampler(episode))
             )
         return result
+
+    def run_seeded(
+        self,
+        initial_states,
+        disturbance_factory: Callable[[int, np.random.Generator], np.ndarray],
+        root_seed,
+    ) -> BatchResult:
+        """Run a batch under the per-episode seed-stream contract.
+
+        Args:
+            initial_states: ``(N, n)`` array of start states.
+            disturbance_factory: ``(episode, rng) -> (T, n)`` realisation;
+                must draw randomness only from the passed generator.
+            root_seed: Root seed; episode ``i`` gets the ``i``-th spawned
+                child stream regardless of execution order or worker count.
+
+        Returns:
+            A :class:`BatchResult` with ``N`` records in episode order.
+        """
+        states = self._initial_states(initial_states)
+        seeds = spawn_episode_seeds(root_seed, len(states))
+        result = BatchResult()
+        for episode, x0 in enumerate(states):
+            realisation = disturbance_factory(
+                episode, np.random.default_rng(seeds[episode])
+            )
+            result.append(self._run_one(episode, x0, realisation))
+        return result
+
+
+class ParallelBatchRunner(BatchRunner):
+    """Process-parallel :class:`BatchRunner` with identical results.
+
+    Episodes are dispatched to ``jobs`` forked workers in interleaved
+    chunks and the records merged back in episode order, so a batch run
+    here is record-for-record identical (up to wall-clock fields) to the
+    same batch on the serial :class:`BatchRunner`:
+
+    * :meth:`run` pre-samples every realisation in the parent, in episode
+      order, before fanning out — a sampler closing over one shared
+      generator therefore sees exactly the serial call sequence;
+    * :meth:`run_seeded` re-derives episode ``i``'s private generator
+      from the root seed inside whichever worker runs it (cheaper than
+      shipping ``(T, n)`` arrays to every child for large batches).
+
+    Args:
+        jobs: Worker processes.  ``None``/0 = one per CPU; 1 (or platforms
+            without ``fork``) degrades to the serial loop.
+        Remaining arguments: see :class:`BatchRunner`.
+    """
+
+    def __init__(
+        self,
+        system: DiscreteLTISystem,
+        controller: Controller,
+        monitor_factory: Callable[[], SafetyMonitor],
+        policy_factory: Callable[[], SkippingPolicy],
+        skip_input=None,
+        memory_length: int = 1,
+        reveal_future: bool = False,
+        jobs: Optional[int] = None,
+    ):
+        super().__init__(
+            system,
+            controller,
+            monitor_factory,
+            policy_factory,
+            skip_input=skip_input,
+            memory_length=memory_length,
+            reveal_future=reveal_future,
+        )
+        self.jobs = jobs
+
+    def _dispatch(self, states: np.ndarray, realisation_for) -> BatchResult:
+        """Fan episodes out, then merge chunk results in episode order."""
+        episodes = range(len(states))
+        records = fork_map(
+            lambda episode: self._run_one(
+                episode, states[episode], realisation_for(episode)
+            ),
+            episodes,
+            jobs=self.jobs,
+        )
+        result = BatchResult()
+        result.extend(records)  # fork_map preserves input (episode) order
+        return result
+
+    def run(
+        self,
+        initial_states,
+        disturbance_sampler: Callable[[int], np.ndarray],
+    ) -> BatchResult:
+        """Parallel :meth:`BatchRunner.run` (same signature, same records)."""
+        states = self._initial_states(initial_states)
+        realisations = [
+            np.atleast_2d(np.asarray(disturbance_sampler(episode), dtype=float))
+            for episode in range(len(states))
+        ]
+        return self._dispatch(states, realisations.__getitem__)
+
+    def run_seeded(
+        self,
+        initial_states,
+        disturbance_factory: Callable[[int, np.random.Generator], np.ndarray],
+        root_seed,
+    ) -> BatchResult:
+        """Parallel :meth:`BatchRunner.run_seeded` (same records)."""
+        states = self._initial_states(initial_states)
+        seeds = spawn_episode_seeds(root_seed, len(states))
+        return self._dispatch(
+            states,
+            lambda episode: disturbance_factory(
+                episode, np.random.default_rng(seeds[episode])
+            ),
+        )

@@ -156,10 +156,47 @@ class HPolytope:
             )
         return bool(np.all(self.H @ x <= self.h + tol))
 
+    def contains_batch(self, points, tol: float = DEFAULT_TOL) -> np.ndarray:
+        """Vectorised membership test for a ``(T, n)`` array of points.
+
+        One broadcast ``X @ H.T <= h + tol`` replaces ``T`` scalar
+        :meth:`contains` calls; this is the primitive the batch runner and
+        the safety monitor's trajectory scans are built on.
+
+        Returns:
+            Boolean array of shape ``(T,)``; entry ``t`` is the exact
+            value :meth:`contains` would return for ``points[t]``.
+        """
+        X = self._as_batch(points)
+        return np.all(X @ self.H.T <= self.h + tol, axis=1)
+
     def contains_points(self, points, tol: float = DEFAULT_TOL) -> np.ndarray:
-        """Vectorised membership test for an ``(N, n)`` array of points."""
-        P = as_matrix(np.atleast_2d(np.asarray(points, dtype=float)), "points")
-        return np.all(P @ self.H.T <= self.h + tol, axis=1)
+        """Alias of :meth:`contains_batch` (original spelling, kept for
+        backwards compatibility)."""
+        return self.contains_batch(points, tol)
+
+    def violation_batch(self, points) -> np.ndarray:
+        """Largest constraint violation per row of a ``(T, n)`` array.
+
+        Returns:
+            Float array of shape ``(T,)``; entry ``t`` equals
+            :meth:`violation` at ``points[t]`` (<= 0 means inside).
+        """
+        X = self._as_batch(points)
+        return np.max(X @ self.H.T - self.h, axis=1)
+
+    def _as_batch(self, points) -> np.ndarray:
+        """Validate and reshape ``points`` into a ``(T, n)`` float array."""
+        X = np.atleast_2d(np.asarray(points, dtype=float))
+        if X.ndim != 2:
+            raise ValueError(
+                f"points must be a (T, {self.dim}) array, got shape {X.shape}"
+            )
+        if X.shape[1] != self.dim:
+            raise ValueError(
+                f"points have dimension {X.shape[1]}, polytope has {self.dim}"
+            )
+        return X
 
     def violation(self, point) -> float:
         """Largest constraint violation at ``point`` (<= 0 means inside)."""

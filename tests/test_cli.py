@@ -27,6 +27,30 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "ex3"])
         assert args.name == "ex3"
 
+    def test_jobs_flag_on_evaluation_commands(self):
+        assert build_parser().parse_args(["compare", "--jobs", "4"]).jobs == 4
+        assert build_parser().parse_args(
+            ["experiment", "ex1", "--jobs", "0"]
+        ).jobs == 0
+        # Serial by default: parallelism is opt-in.
+        assert build_parser().parse_args(["compare"]).jobs == 1
+
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.episodes == 16
+        assert args.horizon == 100
+        assert args.jobs == 1
+        assert args.seed == 0
+        assert args.out is None
+
+    def test_batch_flags(self):
+        args = build_parser().parse_args(
+            ["batch", "--episodes", "8", "--jobs", "2", "--seed", "7",
+             "--out", "records.csv"]
+        )
+        assert (args.episodes, args.jobs, args.seed) == (8, 2, 7)
+        assert args.out == "records.csv"
+
 
 class TestExecution:
     def test_sets_command_renders(self, acc_case, capsys):
@@ -42,3 +66,28 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "controller:" in out
         assert "saving at 79 skips/100" in out
+
+    def test_batch_command_writes_records(self, acc_case, capsys, tmp_path):
+        out_path = tmp_path / "records.json"
+        assert main(
+            ["batch", "--episodes", "3", "--horizon", "8", "--jobs", "1",
+             "--seed", "5", "--out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 episodes" in out
+        assert "skip rate" in out
+        from repro.framework import BatchResult
+
+        assert len(BatchResult.from_json(out_path)) == 3
+
+    def test_batch_command_seed_reproducible(self, acc_case, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main(
+                ["batch", "--episodes", "2", "--horizon", "6",
+                 "--seed", "11", "--out", str(path)]
+            ) == 0
+        from repro.framework import BatchResult
+
+        first, second = (BatchResult.from_json(path) for path in paths)
+        assert first.deterministic_records() == second.deterministic_records()

@@ -79,6 +79,115 @@ class TestSafetyMonitor:
         assert monitor.admissible_initial(xi.interior_point())
         assert not monitor.admissible_initial([100.0, 0.0])
 
+    def test_classify_batch_matches_scalar(self, di_setup, rng):
+        system, _controller, monitor, xi, xp = di_setup
+        relaxed = SafetyMonitor(
+            strengthened_set=xp, invariant_set=xi,
+            safe_set=system.safe_set, strict=False,
+        )
+        cloud = rng.uniform(-6.0, 6.0, size=(40, 2))
+        batch = relaxed.classify_batch(cloud)
+        batch_violations = relaxed.violations
+        scalar_monitor = SafetyMonitor(
+            strengthened_set=xp, invariant_set=xi,
+            safe_set=system.safe_set, strict=False,
+        )
+        scalar = [scalar_monitor.classify(x) for x in cloud]
+        assert batch == scalar
+        assert batch_violations == scalar_monitor.violations
+
+    def test_classify_batch_strict_raises_at_first_unsafe(self, di_setup):
+        system, _controller, _m, xi, xp = di_setup
+        monitor = SafetyMonitor(
+            strengthened_set=xp, invariant_set=xi, safe_set=system.safe_set
+        )
+        inside = xp.interior_point()
+        states = np.vstack([inside, [100.0, 100.0], [200.0, 200.0]])
+        with pytest.raises(SafetyViolationError):
+            monitor.classify_batch(states)
+        # Sequential contract: the loop stops at the first violation, so
+        # exactly one is counted even with a second unsafe row queued.
+        assert monitor.violations == 1
+
+    def test_classify_batch_nonstrict_counts_every_violation(self, di_setup):
+        system, _controller, _m, xi, xp = di_setup
+        monitor = SafetyMonitor(
+            strengthened_set=xp, invariant_set=xi,
+            safe_set=system.safe_set, strict=False,
+        )
+        states = np.vstack(
+            [xp.interior_point(), [100.0, 100.0], [-50.0, 0.0], [200.0, 200.0]]
+        )
+        classes = monitor.classify_batch(states)
+        assert classes[0] is StateClass.STRENGTHENED
+        assert classes[1:] == [StateClass.UNSAFE_REGION] * 3
+        assert monitor.violations == 3
+        # A second batch keeps accumulating on the same counter.
+        monitor.classify_batch(states[1:])
+        assert monitor.violations == 6
+
+
+class TestNonStrictRunAccounting:
+    """Forced-step and violation accounting when the certificate is wrong.
+
+    A deliberately *uncertified* 'invariant' box lets trajectories escape,
+    exercising the UNSAFE_REGION branch of Algorithm 1 under
+    ``strict=False`` — previously untested.
+    """
+
+    @pytest.fixture
+    def bad_certificate(self, double_integrator):
+        system = double_integrator
+        fake_xi = HPolytope.from_box([-0.5, -0.5], [0.5, 0.5])
+        fake_xp = HPolytope.from_box([-0.25, -0.25], [0.25, 0.25])
+        monitor = SafetyMonitor(
+            strengthened_set=fake_xp, invariant_set=fake_xi,
+            safe_set=system.safe_set, strict=False,
+        )
+        # Zero gain: the plant drifts on its own velocity, escaping the
+        # fake XI within a few steps.
+        controller = LinearFeedback(np.zeros((1, 2)))
+        return system, controller, monitor
+
+    def test_violation_counter_and_unsafe_forcing(self, bad_certificate):
+        system, controller, monitor = bad_certificate
+        horizon = 30
+        stats = IntermittentController(
+            system, controller, monitor, AlwaysSkipPolicy()
+        ).run([0.4, 0.4], np.zeros((horizon, 2)))
+        outside = ~monitor.invariant_set.contains_batch(stats.states[:-1])
+        assert outside.any(), "trajectory should escape the fake XI"
+        assert monitor.violations == int(outside.sum())
+        # Every state outside X' (including every UNSAFE_REGION state)
+        # forces z = 1 — the monitor never lets Ω decide there.
+        outside_xp = ~monitor.strengthened_set.contains_batch(stats.states[:-1])
+        np.testing.assert_array_equal(stats.forced, outside_xp)
+        np.testing.assert_array_equal(stats.decisions[outside_xp], 1)
+        assert stats.forced_steps == int(outside_xp.sum())
+
+    def test_strict_monitor_raises_on_same_run(self, bad_certificate):
+        system, controller, relaxed = bad_certificate
+        strict_monitor = SafetyMonitor(
+            strengthened_set=relaxed.strengthened_set,
+            invariant_set=relaxed.invariant_set,
+            safe_set=system.safe_set,
+        )
+        with pytest.raises(SafetyViolationError):
+            IntermittentController(
+                system, controller, strict_monitor, AlwaysSkipPolicy()
+            ).run([0.4, 0.4], np.zeros((30, 2)))
+        assert strict_monitor.violations == 1
+
+    def test_max_violation_reflects_escape(self, bad_certificate):
+        system, controller, monitor = bad_certificate
+        stats = IntermittentController(
+            system, controller, monitor, AlwaysSkipPolicy()
+        ).run([0.4, 0.4], np.zeros((30, 2)))
+        # Still inside the (true) safe set, so the safe-set violation is
+        # negative while the fake invariant set was definitely violated.
+        assert stats.max_violation(system.safe_set) <= 0.0
+        assert stats.max_violation(monitor.invariant_set) > 0.0
+
 
 class TestAccounting:
     def test_computation_saving_formula(self):

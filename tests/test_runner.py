@@ -70,6 +70,55 @@ class TestBatchRunner:
         assert len(lines) == 3
         assert lines[0].startswith("episode,energy,skip_rate")
 
-    def test_csv_empty_raises(self, tmp_path):
-        with pytest.raises(ValueError, match="empty"):
-            BatchResult().to_csv(tmp_path / "x.csv")
+    def test_csv_roundtrip_is_exact(self, batch_setup, rng, tmp_path):
+        system, xp, runner = batch_setup
+        lo, hi = system.disturbance_set.bounding_box()
+        result = runner.run(
+            xp.sample(rng, 3), lambda i: rng.uniform(lo, hi, size=(10, 2))
+        )
+        path = tmp_path / "batch.csv"
+        result.to_csv(path)
+        loaded = BatchResult.from_csv(path)
+        # repr-based float serialisation round-trips bit-exactly.
+        assert loaded.records == result.records
+
+    def test_empty_batch_serialises_symmetrically(self, tmp_path):
+        """Regression: to_json wrote [] while to_csv raised ValueError."""
+        empty = BatchResult()
+        json_path = tmp_path / "empty.json"
+        csv_path = tmp_path / "empty.csv"
+        empty.to_json(json_path)
+        empty.to_csv(csv_path)
+        assert json_path.read_text() == "[]"
+        lines = csv_path.read_text().strip().split("\n")
+        assert len(lines) == 1
+        assert lines[0].startswith("episode,energy,skip_rate")
+        assert len(BatchResult.from_json(json_path)) == 0
+        assert len(BatchResult.from_csv(csv_path)) == 0
+
+    def test_empty_roundtrip_both_formats(self, batch_setup, rng, tmp_path):
+        system, xp, runner = batch_setup
+        lo, hi = system.disturbance_set.bounding_box()
+        result = runner.run(
+            xp.sample(rng, 2), lambda i: rng.uniform(lo, hi, size=(8, 2))
+        )
+        for name, save, load in (
+            ("r.json", result.to_json, BatchResult.from_json),
+            ("r.csv", result.to_csv, BatchResult.from_csv),
+        ):
+            path = tmp_path / name
+            save(path)
+            assert load(path).records == result.records
+
+    def test_record_field_types_survive_csv(self, batch_setup, rng, tmp_path):
+        system, xp, runner = batch_setup
+        lo, hi = system.disturbance_set.bounding_box()
+        result = runner.run(
+            xp.sample(rng, 1), lambda i: rng.uniform(lo, hi, size=(5, 2))
+        )
+        path = tmp_path / "typed.csv"
+        result.to_csv(path)
+        record = BatchResult.from_csv(path).records[0]
+        assert isinstance(record.episode, int)
+        assert isinstance(record.forced_steps, int)
+        assert isinstance(record.energy, float)
