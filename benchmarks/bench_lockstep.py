@@ -1,0 +1,183 @@
+"""Episodes/sec of the three batch engines: serial vs parallel vs lockstep.
+
+Standalone script (not a pytest-benchmark kernel) so CI can smoke it at
+tiny scale and operators can size batches::
+
+    PYTHONPATH=src python benchmarks/bench_lockstep.py \
+        --episodes 256 --horizon 100 --jobs 2
+
+It runs the same seeded bang-bang batch on the ACC case study through
+every engine and cross-checks that all of them produced
+record-for-record identical deterministic fields (the differential
+guarantee the test suite proves at small scale); any mismatch makes the
+script exit non-zero.
+
+Two controller configurations are timed:
+
+* ``linear`` — an LQR feedback (vectorised ``compute_batch``, non-strict
+  monitor).  Every per-step cost is batchable, so this row isolates the
+  engine overhead: it is where lockstep's single-core speedup shows
+  (the headline number), while fork-based parallelism pays overhead on
+  a single-CPU container.
+* ``rmpc`` — the paper's robust MPC κ_R.  Its LP solve falls back to the
+  per-row path in every engine, so the achievable speedup is bounded by
+  the fraction of monitor-forced steps; the row quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.acc import acc_disturbance_factory, build_case_study
+from repro.controllers import LinearFeedback, lqr_gain
+from repro.framework import BatchRunner, ParallelBatchRunner
+from repro.skipping import AlwaysSkipPolicy
+
+
+def visible_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _configurations(case) -> dict:
+    """controller-name -> (controller, monitor_factory) pairs to bench."""
+    system = case.system
+    lo, hi = system.input_set.bounding_box()
+    lqr = LinearFeedback(
+        lqr_gain(system.A, system.B, np.eye(system.n), np.eye(system.m)),
+        saturation=(lo, hi),
+    )
+    return {
+        # Non-strict monitor: the LQR is not the certified κ, so XI
+        # excursions must be recorded (identically per engine), not raised.
+        "linear": (lqr, lambda: case.make_monitor(strict=False)),
+        "rmpc": (case.mpc, case.make_monitor),
+    }
+
+
+def run_benchmark(
+    episodes: int,
+    horizon: int,
+    jobs: int,
+    seed: int,
+    experiment: str = "overall",
+    controllers=("linear", "rmpc"),
+) -> dict:
+    """Time one batch per (controller configuration, engine).
+
+    Returns:
+        Dict with per-configuration throughput, speedup over that
+        configuration's serial baseline, and the identical-records flag.
+    """
+    case = build_case_study()
+    factory = acc_disturbance_factory(case, experiment, horizon)
+    rng = np.random.default_rng(seed)
+    states = case.sample_initial_states(rng, episodes)
+    available = _configurations(case)
+
+    rows = []
+    for name in controllers:
+        controller, monitor_factory = available[name]
+
+        def make_runner(cls, **extra):
+            return cls(
+                case.system,
+                controller,
+                monitor_factory=monitor_factory,
+                policy_factory=AlwaysSkipPolicy,
+                skip_input=case.skip_input,
+                **extra,
+            )
+
+        def timed(runner):
+            tick = time.perf_counter()
+            result = runner.run_seeded(states, factory, root_seed=seed)
+            return result, time.perf_counter() - tick
+
+        serial_result, serial_seconds = timed(make_runner(BatchRunner))
+        reference = serial_result.deterministic_records()
+        engines = [
+            ("serial", make_runner(BatchRunner), serial_result, serial_seconds),
+            ("parallel", make_runner(ParallelBatchRunner, jobs=jobs), None, None),
+            ("lockstep", make_runner(BatchRunner, engine="lockstep"), None, None),
+        ]
+        for engine, runner, result, seconds in engines:
+            if result is None:
+                result, seconds = timed(runner)
+            rows.append(
+                {
+                    "controller": name,
+                    "engine": engine,
+                    "jobs": jobs if engine == "parallel" else 1,
+                    "seconds": seconds,
+                    "episodes_per_sec": episodes / seconds,
+                    "speedup": serial_seconds / seconds,
+                    "identical": result.deterministic_records() == reference,
+                }
+            )
+    return {
+        "episodes": episodes,
+        "horizon": horizon,
+        "seed": seed,
+        "cpus": visible_cpus(),
+        "rows": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--episodes", type=int, default=256)
+    parser.add_argument("--horizon", type=int, default=100)
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker count for the parallel engine rows",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--experiment", default="overall")
+    parser.add_argument(
+        "--controllers", nargs="+", default=["linear", "rmpc"],
+        choices=["linear", "rmpc"],
+        help="controller configurations to bench",
+    )
+    parser.add_argument("--json", default=None, help="also dump results here")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        args.episodes, args.horizon, args.jobs, args.seed,
+        args.experiment, args.controllers,
+    )
+    print(
+        f"lockstep benchmark: {report['episodes']} episodes x "
+        f"{report['horizon']} steps, {report['cpus']} visible CPU(s)"
+    )
+    print(
+        f"{'controller':<11} {'engine':<9} {'jobs':>4} {'sec':>8} "
+        f"{'ep/s':>8} {'speedup':>8} {'identical':>9}"
+    )
+    for row in report["rows"]:
+        print(
+            f"{row['controller']:<11} {row['engine']:<9} {row['jobs']:>4} "
+            f"{row['seconds']:>8.2f} {row['episodes_per_sec']:>8.2f} "
+            f"{row['speedup']:>7.2f}x {str(row['identical']):>9}"
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.json}")
+    if not all(row["identical"] for row in report["rows"]):
+        print("ERROR: an engine's records diverged from the serial reference")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

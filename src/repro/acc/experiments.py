@@ -21,6 +21,7 @@ import numpy as np
 from repro.acc.case_study import ACCCaseStudy, build_case_study
 from repro.acc.env import ACCSkippingEnv
 from repro.framework.intermittent import IntermittentController, run_controller_only
+from repro.framework.lockstep import lockstep_controller_only, run_lockstep
 from repro.rl.dqn import DQNConfig, DoubleDQNAgent
 from repro.rl.schedule import LinearSchedule
 from repro.rl.training import TrainingHistory, train_dqn
@@ -269,6 +270,7 @@ def evaluate_approaches(
     drl_policy: Optional[SkippingPolicy] = None,
     memory_length: int = 1,
     jobs: int = 1,
+    engine: Optional[str] = None,
 ) -> ComparisonResult:
     """Run the paired three-way comparison of the paper's Sec. IV.
 
@@ -285,15 +287,29 @@ def evaluate_approaches(
         drl_policy: Pre-built policy overriding ``agent``.
         memory_length: ``r`` used when building the DRL policy.
         jobs: Worker processes for the per-case fan-out (``None``/0 = one
-            per CPU).  All realisations are drawn up front in the parent,
-            so any ``jobs`` value yields the same fuel/energy/skip/forced
-            numbers as ``jobs=1`` — only the wall-clock columns
-            (``mean_controller_ms``/``mean_monitor_ms``) vary with worker
-            contention.
+            per CPU; only meaningful for the parallel engine).  All
+            realisations are drawn up front in the parent, so any
+            ``jobs``/``engine`` choice yields the same
+            fuel/energy/skip/forced numbers — only the wall-clock columns
+            (``mean_controller_ms``/``mean_monitor_ms``) vary.
+        engine: ``"serial"`` (per-case loop, forces ``jobs=1``),
+            ``"parallel"`` (per-case fork fan-out over ``jobs`` workers)
+            or ``"lockstep"`` (all cases of one approach advance as a
+            single state matrix; single-core friendly).  ``None`` keeps
+            the legacy behaviour: parallel iff ``jobs != 1``.  The DRL
+            leg requires a stateless (ε = 0) policy under lockstep.
 
     Returns:
         A :class:`ComparisonResult`.
     """
+    if engine not in (None, "serial", "parallel", "lockstep"):
+        raise ValueError(
+            f"engine must be 'serial', 'parallel' or 'lockstep', got {engine!r}"
+        )
+    if num_cases < 1:
+        raise ValueError("num_cases must be >= 1")
+    if engine == "serial":
+        jobs = 1
     rng = np.random.default_rng(seed)
     pattern = experiment_pattern(experiment, rng, dt=case.params.delta)
     initial_states = case.sample_initial_states(rng, num_cases)
@@ -318,6 +334,16 @@ def evaluate_approaches(
     if policy_drl is not None:
         approaches["drl"] = policy_drl
 
+    def metrics_of(stats) -> tuple:
+        return (
+            case.fuel_of_run(stats),
+            case.raw_energy_of_run(stats),
+            stats.skip_rate,
+            stats.forced_steps,
+            1e3 * stats.mean_controller_time,
+            1e3 * stats.mean_monitor_time,
+        )
+
     def evaluate_case(i: int) -> dict:
         x0 = initial_states[i]
         disturbances = realisations[i]
@@ -335,17 +361,41 @@ def evaluate_approaches(
                     memory_length=memory_length,
                 )
                 stats = runner.run(x0, disturbances)
-            metrics[name] = (
-                case.fuel_of_run(stats),
-                case.raw_energy_of_run(stats),
-                stats.skip_rate,
-                stats.forced_steps,
-                1e3 * stats.mean_controller_time,
-                1e3 * stats.mean_monitor_time,
-            )
+            metrics[name] = metrics_of(stats)
         return metrics
 
-    per_case = fork_map(evaluate_case, range(num_cases), jobs=jobs)
+    if engine == "lockstep":
+        # Approach-major: every approach advances all cases as one state
+        # matrix.  Policies/controller are stateless, realisations are
+        # pre-drawn, so the per-case numbers match the case-major loop.
+        per_case = [dict() for _ in range(num_cases)]
+        for name, policy in approaches.items():
+            if policy is not None and not getattr(policy, "stateless", False):
+                raise ValueError(
+                    f"approach {name!r}: the lockstep engine shares one "
+                    "policy instance across interleaved cases, which is "
+                    "only serial-equivalent for stateless policies "
+                    "(for DRL, evaluate with epsilon=0)"
+                )
+            if policy is None:
+                stats_list = lockstep_controller_only(
+                    case.system, case.mpc, initial_states, realisations
+                )
+            else:
+                stats_list = run_lockstep(
+                    case.system,
+                    case.mpc,
+                    [case.make_monitor(strict=True) for _ in range(num_cases)],
+                    [policy] * num_cases,
+                    initial_states,
+                    realisations,
+                    skip_input=case.skip_input,
+                    memory_length=memory_length,
+                )
+            for i, stats in enumerate(stats_list):
+                per_case[i][name] = metrics_of(stats)
+    else:
+        per_case = fork_map(evaluate_case, range(num_cases), jobs=jobs)
 
     collected = {
         name: {"fuel": [], "energy": [], "skip": [], "forced": [],

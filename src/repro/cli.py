@@ -11,14 +11,18 @@ Usage (after ``pip install -e .``)::
 Each subcommand prints the same tables the benchmark suite emits, at a
 scale chosen via flags, so results can be regenerated without pytest.
 
-Parallel execution: ``batch``, ``compare`` and ``experiment`` accept
-``--jobs N`` to fan episodes/cases out over ``N`` forked worker
-processes (``--jobs 0`` = one per CPU).  Results are reproducible by
-construction: ``--seed S`` fixes a root seed from which every episode
-derives its own private ``numpy`` generator stream, so any ``--jobs``
-value produces the same deterministic record fields (energy, skip rate,
-forced steps, violations) as a serial run — wall-clock timing fields
-naturally vary with worker contention.
+Execution engines: ``batch``, ``compare`` and ``experiment`` accept
+``--engine {serial,parallel,lockstep}``.  ``parallel`` fans
+episodes/cases out over ``--jobs N`` forked worker processes
+(``--jobs 0`` = one per CPU); ``lockstep`` advances all episodes as a
+single ``(N, n)`` state matrix in one process — the fast path on
+single-core hosts.  Results are reproducible by construction:
+``--seed S`` fixes a root seed from which every episode derives its own
+private ``numpy`` generator streams (disturbances and stochastic
+policies alike), so any engine/jobs choice produces the same
+deterministic record fields (energy, skip rate, forced steps,
+violations) as a serial run — wall-clock timing fields naturally vary
+with contention.
 """
 
 from __future__ import annotations
@@ -61,6 +65,7 @@ def _cmd_compare(args) -> int:
     result = evaluate_approaches(
         case, args.experiment, num_cases=args.cases, horizon=args.horizon,
         seed=args.seed + 1, agent=agent, jobs=args.jobs,
+        engine=_resolve_engine(args),
     )
     print(f"\n{'approach':<12} {'fuel[g]':>8} {'saving':>8} {'skip%':>6}")
     print(f"{'RMPC-only':<12} {result.rmpc_only.fuel.mean():8.2f} {'-':>8} {0:5d}%")
@@ -89,6 +94,7 @@ def _cmd_experiment(args) -> int:
     result = evaluate_approaches(
         case, args.name, num_cases=args.cases, horizon=args.horizon,
         seed=args.seed + 1, agent=agent, jobs=args.jobs,
+        engine=_resolve_engine(args),
     )
     print(
         f"{args.name}: DRL saving {100*result.fuel_saving('drl').mean():.2f}%  "
@@ -99,22 +105,33 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _resolve_engine(args) -> str:
+    """The effective engine: explicit ``--engine`` wins, else ``--jobs``."""
+    if args.engine is not None:
+        return args.engine
+    return "parallel" if args.jobs != 1 else "serial"
+
+
 def _cmd_batch(args) -> int:
     import time
 
     from repro.acc import acc_disturbance_factory, build_case_study
-    from repro.framework import ParallelBatchRunner
+    from repro.framework import BatchRunner, ParallelBatchRunner
     from repro.skipping import AlwaysSkipPolicy
 
+    engine = _resolve_engine(args)
     case = build_case_study()
-    runner = ParallelBatchRunner(
-        case.system,
-        case.mpc,
+    common = dict(
         monitor_factory=case.make_monitor,
         policy_factory=AlwaysSkipPolicy,
         skip_input=case.skip_input,
-        jobs=args.jobs,
     )
+    if engine == "parallel":
+        runner = ParallelBatchRunner(
+            case.system, case.mpc, jobs=args.jobs, **common
+        )
+    else:
+        runner = BatchRunner(case.system, case.mpc, engine=engine, **common)
     rng = np.random.default_rng(args.seed)
     states = case.sample_initial_states(rng, args.episodes)
     factory = acc_disturbance_factory(case, args.experiment, args.horizon)
@@ -123,7 +140,7 @@ def _cmd_batch(args) -> int:
     elapsed = time.perf_counter() - tick
     print(
         f"{len(result)} episodes in {elapsed:.2f}s "
-        f"({len(result) / elapsed:.2f} ep/s, jobs={args.jobs})"
+        f"({len(result) / elapsed:.2f} ep/s, engine={engine}, jobs={args.jobs})"
     )
     if result.records:
         print(
@@ -164,6 +181,16 @@ def _cmd_timing(args) -> int:
     return 0
 
 
+def _add_engine_flag(parser) -> None:
+    """Attach the shared ``--engine`` choice to a subcommand parser."""
+    parser.add_argument(
+        "--engine", choices=("serial", "parallel", "lockstep"), default=None,
+        help="execution engine; default: parallel if --jobs != 1, else "
+             "serial (lockstep advances all episodes as one state matrix "
+             "— the single-core fast path)",
+    )
+
+
 def _job_count(value: str) -> int:
     """argparse type for ``--jobs``: non-negative int (0 = one per CPU)."""
     count = int(value)
@@ -197,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_job_count, default=1,
         help="evaluation worker processes (0 = one per CPU)",
     )
+    _add_engine_flag(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_exp = sub.add_parser("experiment", help="run one ex1..ex10 scenario")
@@ -210,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_job_count, default=1,
         help="evaluation worker processes (0 = one per CPU)",
     )
+    _add_engine_flag(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_bat = sub.add_parser(
@@ -231,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="write records to this path (.csv for CSV, else JSON)",
     )
+    _add_engine_flag(p_bat)
     p_bat.set_defaults(func=_cmd_batch)
 
     p_tim = sub.add_parser("timing", help="computation-saving numbers")

@@ -30,6 +30,27 @@ class Controller(ABC):
             Input vector of shape ``(input_dim,)``.
         """
 
+    def compute_batch(self, states) -> np.ndarray:
+        """Compute inputs for every row of an ``(N, n)`` state matrix.
+
+        The generic fallback evaluates :meth:`compute` row by row, so any
+        controller works inside the lockstep engine; controllers with a
+        closed form (:class:`~repro.controllers.linear.LinearFeedback`,
+        :class:`ConstantController`) override it with a single vectorised
+        expression.  Row ``i`` of the result must equal
+        ``compute(states[i])`` exactly — the batch engines' differential
+        determinism guarantee is built on that contract.
+
+        Returns:
+            Array of shape ``(N, input_dim)``.
+        """
+        X = np.atleast_2d(np.asarray(states, dtype=float))
+        if X.shape[0] == 0:
+            return np.zeros((0, self.input_dim))
+        return np.stack(
+            [as_vector(self.compute(x), "controller output") for x in X]
+        )
+
     def __call__(self, state) -> np.ndarray:
         return self.compute(state)
 
@@ -46,3 +67,7 @@ class ConstantController(Controller):
 
     def compute(self, state) -> np.ndarray:
         return self.value.copy()
+
+    def compute_batch(self, states) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(states, dtype=float))
+        return np.tile(self.value, (X.shape[0], 1))

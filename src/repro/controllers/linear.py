@@ -41,11 +41,26 @@ class LinearFeedback(Controller):
             self._lower = self._upper = None
 
     def compute(self, state) -> np.ndarray:
+        # Multiply + pairwise reduction instead of BLAS ``K @ x`` so that
+        # compute_batch rows reproduce this bit for bit (the reduction's
+        # rounding depends only on n, not on the batch height).
         x = as_vector(state, "state")
-        u = self.K @ x
+        u = np.sum(self.K * x, axis=1)
         if self._lower is not None:
             u = np.clip(u, self._lower, self._upper)
         return u
+
+    def compute_batch(self, states) -> np.ndarray:
+        """Vectorised ``U = X K^T`` in one broadcast for all rows, clipped.
+
+        Row ``i`` is bitwise-equal to ``compute(states[i])`` — the batch
+        engines' determinism contract (see :meth:`compute`).
+        """
+        X = np.atleast_2d(np.asarray(states, dtype=float))
+        U = np.sum(self.K * X[:, None, :], axis=2)
+        if self._lower is not None:
+            U = np.clip(U, self._lower, self._upper)
+        return U
 
 
 def lqr_gain(A, B, Q, R) -> np.ndarray:

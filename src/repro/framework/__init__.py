@@ -2,12 +2,14 @@
 
 from repro.framework.accounting import RunStats, computation_saving
 from repro.framework.intermittent import IntermittentController, run_controller_only
+from repro.framework.lockstep import lockstep_controller_only, run_lockstep
 from repro.framework.monitor import SafetyMonitor, SafetyViolationError, StateClass
 from repro.framework.runner import (
     DETERMINISTIC_FIELDS,
     BatchResult,
     BatchRunner,
     EpisodeRecord,
+    LockstepEngine,
     ParallelBatchRunner,
     spawn_episode_seeds,
 )
@@ -22,6 +24,9 @@ __all__ = [
     "computation_saving",
     "BatchRunner",
     "ParallelBatchRunner",
+    "LockstepEngine",
+    "run_lockstep",
+    "lockstep_controller_only",
     "BatchResult",
     "EpisodeRecord",
     "DETERMINISTIC_FIELDS",

@@ -1,0 +1,325 @@
+"""Vectorised lockstep execution of many episodes at once.
+
+Where the serial :class:`~repro.framework.runner.BatchRunner` advances one
+scalar state at a time through ``IntermittentController.run``, the
+functions here step an ``(N, n)`` state matrix for ``N`` episodes
+*simultaneously*:
+
+* all ``N`` states are classified against ``X'`` / ``XI`` with two
+  :meth:`~repro.geometry.HPolytope.contains_batch` broadcasts per step;
+* RUN / SKIP / monitor-forced rows are masked, the safe controller runs
+  once on the stacked RUN rows via
+  :meth:`~repro.controllers.base.Controller.compute_batch`;
+* the plant advances every active row in one
+  :meth:`~repro.systems.lti.DiscreteLTISystem.step_batch` call.
+
+This is the only execution engine that raises episodes/sec on a
+single-core host — process fan-out (:class:`ParallelBatchRunner`) needs
+physical cores, lockstep only needs numpy.
+
+Determinism contract: for every episode the produced :class:`RunStats`
+holds exactly the trajectory, inputs, decisions and forced mask that the
+serial loop would produce (wall-clock timing arrays excepted — the
+shared per-step cost is amortised uniformly over the rows that paid it).
+The batch primitives evaluate the same floating-point expressions
+row-wise, and the differential test harness proves record-for-record
+equality against the serial engine.
+
+Caveats mirroring the serial semantics they replace:
+
+* policies flagged ``stateless`` are evaluated through one representative
+  instance's :meth:`~repro.skipping.base.SkippingPolicy.decide_batch`;
+  stateful/stochastic policies keep their per-episode instances and are
+  queried row by row in episode order, so per-episode generator streams
+  line up with the serial engine;
+* a strict monitor aborts the whole batch with
+  :class:`SafetyViolationError` as soon as any episode leaves ``XI``.
+  The serial loop discovers violations episode-major and lockstep
+  discovers them time-major, so *which* episode is named can differ —
+  but a batch either raises under both engines or under neither;
+* ``policy.observe`` is never called (the engine is for evaluation;
+  route DRL *training* rollouts through the serial loop).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.controllers.base import Controller
+from repro.framework.accounting import RunStats
+from repro.framework.monitor import SafetyMonitor, SafetyViolationError
+from repro.skipping.base import RUN, DecisionContext, SkippingPolicy
+from repro.systems.lti import DiscreteLTISystem
+from repro.utils.validation import as_vector
+
+__all__ = ["run_lockstep", "lockstep_controller_only"]
+
+
+def _equal_value(left, right) -> bool:
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        return np.array_equal(left, right)
+    try:
+        return bool(left == right)
+    except Exception:
+        return False
+
+
+def _interchangeable(policy, reference) -> bool:
+    """True iff two policy instances are guaranteed to decide identically.
+
+    ``stateless`` only promises decisions are a pure function of the
+    context *and the instance's parameters* — ``PeriodicSkipPolicy(2)``
+    and ``PeriodicSkipPolicy(3)`` are both stateless yet disagree.  One
+    representative may serve every episode only when the instances are
+    the same object or carry equal attributes; otherwise the engine falls
+    back to querying each episode's own policy.
+    """
+    if policy is reference:
+        return True
+    if type(policy) is not type(reference):
+        return False
+    left = getattr(policy, "__dict__", None)
+    right = getattr(reference, "__dict__", None)
+    if left is None or right is None or left.keys() != right.keys():
+        return False
+    return all(
+        left[key] is right[key] or _equal_value(left[key], right[key])
+        for key in left
+    )
+
+
+def _padded_realisations(realisations, n: int) -> tuple:
+    """Stack per-episode ``(T_i, n)`` arrays into ``(N, T_max, n)`` + horizons.
+
+    Rows beyond an episode's own horizon are zero padding; the per-episode
+    slices handed back out at the end never include them.
+    """
+    W = [np.atleast_2d(np.asarray(w, dtype=float)) for w in realisations]
+    horizons = np.array([w.shape[0] for w in W], dtype=int)
+    for i, w in enumerate(W):
+        if w.shape[1] != n:
+            raise ValueError(
+                f"episode {i} realisation has dimension {w.shape[1]}, plant has {n}"
+            )
+    t_max = int(horizons.max()) if len(W) else 0
+    padded = np.zeros((len(W), t_max, n))
+    for i, w in enumerate(W):
+        padded[i, : horizons[i]] = w
+    return padded, horizons
+
+
+def run_lockstep(
+    system: DiscreteLTISystem,
+    controller: Controller,
+    monitors: Sequence[SafetyMonitor],
+    policies: Sequence[SkippingPolicy],
+    initial_states,
+    realisations,
+    skip_input=None,
+    memory_length: int = 1,
+    reveal_future: bool = False,
+) -> List[RunStats]:
+    """Run ``N`` Algorithm-1 episodes in lockstep.
+
+    Args:
+        system: The plant (shared across episodes).
+        controller: Safe controller κ (shared; must be stateless across
+            calls, as all the library's controllers are).
+        monitors: One fresh :class:`SafetyMonitor` per episode (they carry
+            violation counters).  All must share the same sets/config —
+            true for any factory-built batch; the sets of ``monitors[0]``
+            drive the batched classification.
+        policies: One Ω per episode.  If every policy is ``stateless``
+            *and* the instances are interchangeable (same object, or same
+            type with equal attributes — true for any factory-built
+            batch), ``policies[0].decide_batch`` serves all rows;
+            otherwise each episode's own instance is queried row by row.
+        initial_states: ``(N, n)`` start states (each must lie in ``XI``).
+        realisations: Sequence of ``N`` disturbance arrays ``(T_i, n)``
+            (horizons may differ; finished episodes simply stop stepping).
+        skip_input: Constant input applied when skipping (default zero).
+        memory_length: The paper's ``r`` — disturbance-history window.
+        reveal_future: Pass the realised future to Ω via the context.
+
+    Returns:
+        ``N`` :class:`RunStats`, aligned with the inputs.
+
+    Raises:
+        ValueError: If any initial state is outside ``XI``.
+        SafetyViolationError: Under a strict monitor, as soon as any
+            episode's state leaves ``XI``.
+    """
+    if memory_length < 1:
+        raise ValueError("memory_length must be >= 1")
+    X0 = np.atleast_2d(np.asarray(initial_states, dtype=float))
+    count = X0.shape[0]
+    if count == 0:
+        return []
+    if len(monitors) != count or len(policies) != count:
+        raise ValueError("need exactly one monitor and one policy per episode")
+    n, m, r = system.n, system.m, int(memory_length)
+    skip_u = np.zeros(m) if skip_input is None else as_vector(skip_input)
+    W, horizons = _padded_realisations(realisations, n)
+    t_max = W.shape[1]
+
+    reference = monitors[0]
+    sset, iset, tol = reference.strengthened_set, reference.invariant_set, reference.tol
+    for monitor in monitors:
+        if (
+            monitor.strengthened_set is not sset
+            or monitor.invariant_set is not iset
+            or monitor.tol != tol
+        ):
+            raise ValueError(
+                "lockstep monitors must share one set configuration "
+                "(identical X'/XI objects and tol) — heterogeneous "
+                "monitors would be classified against episode 0's sets"
+            )
+    for i in range(count):
+        if not monitors[i].admissible_initial(X0[i]):
+            raise ValueError("initial state must be inside the invariant set XI")
+
+    shared_policy = all(getattr(p, "stateless", False) for p in policies) and all(
+        _interchangeable(p, policies[0]) for p in policies[1:]
+    )
+    for policy in policies:
+        policy.reset()
+    controller.reset()
+
+    states = np.empty((count, t_max + 1, n))
+    inputs = np.zeros((count, t_max, m))
+    decisions = np.zeros((count, t_max), dtype=int)
+    forced = np.zeros((count, t_max), dtype=bool)
+    controller_seconds = np.zeros((count, t_max))
+    monitor_seconds = np.zeros((count, t_max))
+    states[:, 0] = X0
+    X = X0.copy()
+    history = np.zeros((count, r, n))
+
+    for t in range(t_max):
+        idx = np.flatnonzero(horizons > t)
+        w_t = W[idx, t]
+        if r > 1:
+            history[idx, :-1] = history[idx, 1:]
+        history[idx, -1] = w_t
+
+        tick = time.perf_counter()
+        in_strengthened = sset.contains_batch(X[idx], tol)
+        in_invariant = iset.contains_batch(X[idx], tol)
+        unsafe = ~in_strengthened & ~in_invariant
+        if np.any(unsafe):
+            for gi in idx[unsafe]:
+                monitors[gi].violations += 1
+                if monitors[gi].strict:
+                    raise SafetyViolationError(
+                        f"state {X[gi]} left the robust invariant set"
+                    )
+        free_idx = idx[in_strengthened]
+        forced_idx = idx[~in_strengthened]
+
+        contexts = [
+            DecisionContext(
+                time=t,
+                state=X[gi].copy(),
+                past_disturbances=history[gi].copy(),
+                future_disturbances=(
+                    W[gi, t : horizons[gi]].copy() if reveal_future else None
+                ),
+            )
+            for gi in free_idx
+        ]
+        if not contexts:
+            choices = np.zeros(0, dtype=int)
+        elif shared_policy:
+            choices = np.asarray(policies[0].decide_batch(contexts))
+        else:
+            choices = np.array(
+                [policies[gi].decide(ctx) for gi, ctx in zip(free_idx, contexts)],
+                dtype=int,
+            )
+        if len(idx):
+            monitor_seconds[idx, t] = (time.perf_counter() - tick) / len(idx)
+
+        run_idx = np.concatenate([forced_idx, free_idx[choices == RUN]])
+        skip_idx = free_idx[choices != RUN]
+        decisions[run_idx, t] = 1
+        forced[forced_idx, t] = True
+        if len(run_idx):
+            tick = time.perf_counter()
+            inputs[run_idx, t] = controller.compute_batch(X[run_idx])
+            controller_seconds[run_idx, t] = (
+                time.perf_counter() - tick
+            ) / len(run_idx)
+        inputs[skip_idx, t] = skip_u
+
+        nxt = system.step_batch(X[idx], inputs[idx, t], w_t)
+        X[idx] = nxt
+        states[idx, t + 1] = nxt
+
+    return [
+        RunStats(
+            states=states[i, : horizons[i] + 1].copy(),
+            inputs=inputs[i, : horizons[i]].copy(),
+            decisions=decisions[i, : horizons[i]].copy(),
+            forced=forced[i, : horizons[i]].copy(),
+            controller_seconds=controller_seconds[i, : horizons[i]].copy(),
+            monitor_seconds=monitor_seconds[i, : horizons[i]].copy(),
+            disturbances=W[i, : horizons[i]].copy(),
+        )
+        for i in range(count)
+    ]
+
+
+def lockstep_controller_only(
+    system: DiscreteLTISystem,
+    controller: Controller,
+    initial_states,
+    realisations,
+) -> List[RunStats]:
+    """Vectorised :func:`~repro.framework.intermittent.run_controller_only`.
+
+    κ runs on every row of every step (no monitor, no skipping) — the
+    RMPC-only baseline leg of ``evaluate_approaches``, in lockstep.
+
+    Returns:
+        ``N`` :class:`RunStats` with all decisions 1 and zero monitor time.
+    """
+    X0 = np.atleast_2d(np.asarray(initial_states, dtype=float))
+    count = X0.shape[0]
+    if count == 0:
+        return []
+    n, m = system.n, system.m
+    W, horizons = _padded_realisations(realisations, n)
+    t_max = W.shape[1]
+    controller.reset()
+
+    states = np.empty((count, t_max + 1, n))
+    inputs = np.zeros((count, t_max, m))
+    controller_seconds = np.zeros((count, t_max))
+    states[:, 0] = X0
+    X = X0.copy()
+    for t in range(t_max):
+        idx = np.flatnonzero(horizons > t)
+        tick = time.perf_counter()
+        inputs[idx, t] = controller.compute_batch(X[idx])
+        if len(idx):
+            controller_seconds[idx, t] = (time.perf_counter() - tick) / len(idx)
+        nxt = system.step_batch(X[idx], inputs[idx, t], W[idx, t])
+        X[idx] = nxt
+        states[idx, t + 1] = nxt
+
+    return [
+        RunStats(
+            states=states[i, : horizons[i] + 1].copy(),
+            inputs=inputs[i, : horizons[i]].copy(),
+            decisions=np.ones(horizons[i], dtype=int),
+            forced=np.zeros(horizons[i], dtype=bool),
+            controller_seconds=controller_seconds[i, : horizons[i]].copy(),
+            monitor_seconds=np.zeros(horizons[i]),
+            disturbances=W[i, : horizons[i]].copy(),
+        )
+        for i in range(count)
+    ]

@@ -28,6 +28,14 @@ class SafetyViolationError(RuntimeError):
     """The state left the robust invariant set — Theorem 1 contract broken."""
 
 
+#: Set triples whose nesting (X' ⊆ XI ⊆ X) has already been proven; see
+#: :meth:`SafetyMonitor.__post_init__`.  FIFO-bounded so a long-lived
+#: process sweeping many scenarios cannot pin polytopes forever — an
+#: eviction merely means the nesting is re-proven on next use.
+_VALIDATED_NESTINGS: dict = {}
+_VALIDATED_NESTINGS_MAX = 128
+
+
 class StateClass(Enum):
     """Classification of a state against the nested safe sets."""
 
@@ -58,10 +66,24 @@ class SafetyMonitor:
     violations: int = field(default=0, init=False)
 
     def __post_init__(self):
+        # Batch runners build one fresh monitor per episode over the same
+        # set objects; the nesting proof is a pure function of those sets,
+        # so re-proving it per episode is pure LP waste.  The cache keeps
+        # strong references, which also pins the ids it is keyed on.
+        key = (id(self.strengthened_set), id(self.invariant_set), id(self.safe_set))
+        if key in _VALIDATED_NESTINGS:
+            return
         if not self.invariant_set.contains_polytope(self.strengthened_set):
             raise ValueError("X' must be a subset of XI (Definition 3)")
         if not self.safe_set.contains_polytope(self.invariant_set, tol=1e-6):
             raise ValueError("XI must be a subset of the safe set X")
+        while len(_VALIDATED_NESTINGS) >= _VALIDATED_NESTINGS_MAX:
+            _VALIDATED_NESTINGS.pop(next(iter(_VALIDATED_NESTINGS)))
+        _VALIDATED_NESTINGS[key] = (
+            self.strengthened_set,
+            self.invariant_set,
+            self.safe_set,
+        )
 
     def classify(self, state) -> StateClass:
         """Classify ``state``; raises on contract violation when strict.

@@ -5,24 +5,35 @@ initial states and disturbance realisations, collects per-episode
 records, and exports them as JSON or CSV — the layer the benchmark
 harness and user sweeps script against.
 
-Two execution engines share one record format:
+Three execution engines share one record format:
 
-* :class:`BatchRunner` — the sequential reference implementation;
+* :class:`BatchRunner` (``engine="serial"``) — the sequential reference
+  implementation;
 * :class:`ParallelBatchRunner` — fans episodes out over forked worker
   processes (:func:`repro.utils.parallel.fork_map`) and merges the
-  results back in episode order.
+  results back in episode order;
+* :class:`LockstepEngine` (or ``BatchRunner(engine="lockstep")``) —
+  steps an ``(N, n)`` state matrix for all episodes simultaneously
+  (:mod:`repro.framework.lockstep`); the only engine that raises
+  episodes/sec on a single core.
 
 Determinism contract: :meth:`BatchRunner.run_seeded` derives one
 independent ``numpy.random.Generator`` per episode from a single root
 seed via ``SeedSequence.spawn`` — episode ``i`` sees the same stream no
-matter how many workers run the batch or which worker it lands on, so
-parallel results are record-for-record reproducible against serial ones
-(wall-clock timing fields excepted; see :data:`DETERMINISTIC_FIELDS`).
+matter which engine runs the batch or which worker it lands on, so
+parallel and lockstep results are record-for-record reproducible against
+serial ones (wall-clock timing fields excepted; see
+:data:`DETERMINISTIC_FIELDS`).  Stochastic policies join the contract by
+accepting a generator from the factory: a ``policy_factory`` taking one
+positional argument receives a per-episode generator spawned from the
+same root seed (independent of the disturbance stream); zero-argument
+factories keep working unchanged.
 """
 
 from __future__ import annotations
 
 import csv
+import inspect
 import json
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
@@ -31,7 +42,9 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.controllers.base import Controller
-from repro.framework.intermittent import IntermittentController, run_controller_only
+from repro.framework.accounting import RunStats
+from repro.framework.intermittent import IntermittentController
+from repro.framework.lockstep import run_lockstep
 from repro.framework.monitor import SafetyMonitor
 from repro.skipping.base import SkippingPolicy
 from repro.systems.lti import DiscreteLTISystem
@@ -42,13 +55,15 @@ __all__ = [
     "BatchResult",
     "BatchRunner",
     "ParallelBatchRunner",
+    "LockstepEngine",
     "DETERMINISTIC_FIELDS",
     "spawn_episode_seeds",
 ]
 
 #: Record fields that are pure functions of (initial state, disturbance
-#: realisation): identical between serial and parallel execution.  The
-#: remaining fields are wall-clock measurements and vary run to run.
+#: realisation): identical between serial, parallel and lockstep
+#: execution.  The remaining fields are wall-clock measurements and vary
+#: run to run.
 DETERMINISTIC_FIELDS = (
     "episode",
     "energy",
@@ -56,6 +71,12 @@ DETERMINISTIC_FIELDS = (
     "forced_steps",
     "max_violation",
 )
+
+#: Fixed entropy tag for per-episode *policy* generator streams in the
+#: unseeded :meth:`BatchRunner.run` path, so rng-accepting factories stay
+#: engine-invariant even without a root seed (use :meth:`run_seeded` to
+#: actually vary them).
+_UNSEEDED_POLICY_ROOT = 0x0B5E55ED
 
 
 def spawn_episode_seeds(root_seed, count: int) -> list:
@@ -66,6 +87,45 @@ def spawn_episode_seeds(root_seed, count: int) -> list:
     ``i`` depends only on ``(root_seed, i)``, never on scheduling.
     """
     return np.random.SeedSequence(root_seed).spawn(int(count))
+
+
+def _policy_stream(seed_seq: np.random.SeedSequence) -> np.random.SeedSequence:
+    """The episode's policy seed: its first spawned child, derived without
+    mutating the shared sequence (pure function of ``(root_seed, episode)``),
+    and therefore independent of the disturbance stream drawn from the
+    sequence itself."""
+    return np.random.SeedSequence(
+        entropy=seed_seq.entropy, spawn_key=tuple(seed_seq.spawn_key) + (0,)
+    )
+
+
+def _accepts_rng(factory) -> bool:
+    """True iff ``factory`` *requires* a positional argument (the episode rng).
+
+    Opting into the policy seed stream takes a mandatory positional
+    parameter (or ``*args``); factories whose positional parameters all
+    carry defaults keep being called with no arguments, so pre-existing
+    zero-argument factories — including ones with optional knobs like
+    ``lambda period=2: …`` — are never handed a generator they did not
+    ask for.
+    """
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            return True
+        if (
+            parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            )
+            and parameter.default is inspect.Parameter.empty
+        ):
+            return True
+    return False
 
 
 @dataclass(frozen=True)
@@ -115,7 +175,12 @@ class BatchResult:
         return len(self.records)
 
     def mean(self, metric: str) -> float:
-        """Mean of a record field across episodes."""
+        """Mean of a record field across episodes.
+
+        Raises:
+            ValueError: On an empty batch (rather than numpy's silent
+                ``nan`` + ``RuntimeWarning``).
+        """
         if not self.records:
             raise ValueError("empty batch")
         return float(np.mean([getattr(r, metric) for r in self.records]))
@@ -123,8 +188,9 @@ class BatchResult:
     def deterministic_records(self) -> list:
         """Per-episode tuples of the scheduling-independent fields.
 
-        The differential test harness compares these between serial and
-        parallel runs; wall-clock fields are excluded by construction.
+        The differential test harness compares these between serial,
+        parallel and lockstep runs; wall-clock fields are excluded by
+        construction.
         """
         return [record.deterministic_view() for record in self.records]
 
@@ -178,14 +244,24 @@ class BatchRunner:
         controller: Safe controller κ.  It is shared across episodes and
             must return to a pristine state on ``reset()`` (true for the
             library's controllers) so episode results are independent of
-            execution order — the property the parallel engine relies on.
+            execution order — the property the parallel and lockstep
+            engines rely on.
         monitor_factory: Zero-argument callable producing a fresh
             :class:`SafetyMonitor` per episode (monitors carry violation
             counters, so sharing one across episodes muddles stats).
-        policy_factory: Zero-argument callable producing the Ω policy.
+        policy_factory: Callable producing the Ω policy.  Zero-argument
+            factories are called as before; a factory taking one
+            positional argument receives the episode's private
+            ``numpy.random.Generator`` (spawned from the root seed,
+            independent of the disturbance stream), which is what makes
+            stochastic policies engine- and order-invariant.
         skip_input: Constant skip input (default zero).
         memory_length: Disturbance-history length exposed to Ω.
         reveal_future: Pass the realised future to Ω (model-based case).
+        engine: ``"serial"`` (the reference loop) or ``"lockstep"``
+            (vectorised across episodes; see
+            :mod:`repro.framework.lockstep`).  For process fan-out use
+            :class:`ParallelBatchRunner` instead.
     """
 
     def __init__(
@@ -193,11 +269,17 @@ class BatchRunner:
         system: DiscreteLTISystem,
         controller: Controller,
         monitor_factory: Callable[[], SafetyMonitor],
-        policy_factory: Callable[[], SkippingPolicy],
+        policy_factory: Callable[..., SkippingPolicy],
         skip_input=None,
         memory_length: int = 1,
         reveal_future: bool = False,
+        engine: str = "serial",
     ):
+        if engine not in ("serial", "lockstep"):
+            raise ValueError(
+                f"engine must be 'serial' or 'lockstep', got {engine!r} "
+                "(use ParallelBatchRunner for process fan-out)"
+            )
         self.system = system
         self.controller = controller
         self.monitor_factory = monitor_factory
@@ -205,22 +287,14 @@ class BatchRunner:
         self.skip_input = skip_input
         self.memory_length = memory_length
         self.reveal_future = reveal_future
+        self.engine = engine
+        self._policy_takes_rng = _accepts_rng(policy_factory)
 
     # ------------------------------------------------------------------
     # Episode execution
     # ------------------------------------------------------------------
-    def _run_one(self, episode: int, x0, disturbances) -> EpisodeRecord:
-        """Run a single episode and flatten its stats into a record."""
-        runner = IntermittentController(
-            self.system,
-            self.controller,
-            self.monitor_factory(),
-            self.policy_factory(),
-            skip_input=self.skip_input,
-            memory_length=self.memory_length,
-            reveal_future=self.reveal_future,
-        )
-        stats = runner.run(x0, disturbances)
+    def _record(self, episode: int, stats: RunStats) -> EpisodeRecord:
+        """Flatten one episode's stats into a record."""
         return EpisodeRecord(
             episode=episode,
             energy=stats.energy,
@@ -232,9 +306,80 @@ class BatchRunner:
             max_violation=stats.max_violation(self.system.safe_set),
         )
 
+    def _run_one(
+        self, episode: int, x0, disturbances, policy: SkippingPolicy
+    ) -> EpisodeRecord:
+        """Run a single episode on the serial reference loop."""
+        runner = IntermittentController(
+            self.system,
+            self.controller,
+            self.monitor_factory(),
+            policy,
+            skip_input=self.skip_input,
+            memory_length=self.memory_length,
+            reveal_future=self.reveal_future,
+        )
+        return self._record(episode, runner.run(x0, disturbances))
+
+    def _policy_provider(self, count: int, seeds=None) -> Callable:
+        """``episode -> fresh policy`` under the seed-stream contract.
+
+        Zero-argument factories are simply called.  Rng-accepting
+        factories get ``default_rng`` over the episode's policy stream —
+        a pure function of ``(root seed, episode)``, so every engine and
+        worker builds the identical policy.  ``seeds`` are the episode
+        seed sequences of :meth:`run_seeded`; the unseeded :meth:`run`
+        derives streams from a fixed module tag instead.
+        """
+        if not self._policy_takes_rng:
+            return lambda episode: self.policy_factory()
+        if seeds is None:
+            seeds = spawn_episode_seeds(_UNSEEDED_POLICY_ROOT, count)
+        return lambda episode: self.policy_factory(
+            np.random.default_rng(_policy_stream(seeds[episode]))
+        )
+
     @staticmethod
     def _initial_states(initial_states) -> np.ndarray:
         return np.atleast_2d(np.asarray(initial_states, dtype=float))
+
+    def _execute(
+        self, states: np.ndarray, realisation_for: Callable, policy_for: Callable
+    ) -> BatchResult:
+        """Run every episode; the engine-specific core.
+
+        ``realisation_for``/``policy_for`` map an episode index to its
+        disturbance array / fresh Ω instance.  The serial loop consumes
+        them interleaved in episode order; lockstep materialises all
+        realisations first (episode order), then all policies.
+        """
+        result = BatchResult()
+        if self.engine == "lockstep":
+            episodes = range(len(states))
+            realisations = [realisation_for(e) for e in episodes]
+            policies = [policy_for(e) for e in episodes]
+            monitors = [self.monitor_factory() for _ in episodes]
+            stats_list = run_lockstep(
+                self.system,
+                self.controller,
+                monitors,
+                policies,
+                states,
+                realisations,
+                skip_input=self.skip_input,
+                memory_length=self.memory_length,
+                reveal_future=self.reveal_future,
+            )
+            for episode, stats in enumerate(stats_list):
+                result.append(self._record(episode, stats))
+            return result
+        for episode, x0 in enumerate(states):
+            result.append(
+                self._run_one(
+                    episode, x0, realisation_for(episode), policy_for(episode)
+                )
+            )
+        return result
 
     def run(
         self,
@@ -253,13 +398,12 @@ class BatchRunner:
         Returns:
             A :class:`BatchResult` with ``N`` records.
         """
-        result = BatchResult()
         states = self._initial_states(initial_states)
-        for episode, x0 in enumerate(states):
-            result.append(
-                self._run_one(episode, x0, disturbance_sampler(episode))
-            )
-        return result
+        return self._execute(
+            states,
+            lambda episode: disturbance_sampler(episode),
+            self._policy_provider(len(states)),
+        )
 
     def run_seeded(
         self,
@@ -274,20 +418,53 @@ class BatchRunner:
             disturbance_factory: ``(episode, rng) -> (T, n)`` realisation;
                 must draw randomness only from the passed generator.
             root_seed: Root seed; episode ``i`` gets the ``i``-th spawned
-                child stream regardless of execution order or worker count.
+                child stream regardless of engine, execution order or
+                worker count.  Rng-accepting policy factories get an
+                independent stream derived from the same child.
 
         Returns:
             A :class:`BatchResult` with ``N`` records in episode order.
         """
         states = self._initial_states(initial_states)
         seeds = spawn_episode_seeds(root_seed, len(states))
-        result = BatchResult()
-        for episode, x0 in enumerate(states):
-            realisation = disturbance_factory(
+        return self._execute(
+            states,
+            lambda episode: disturbance_factory(
                 episode, np.random.default_rng(seeds[episode])
-            )
-            result.append(self._run_one(episode, x0, realisation))
-        return result
+            ),
+            self._policy_provider(len(states), seeds=seeds),
+        )
+
+
+class LockstepEngine(BatchRunner):
+    """:class:`BatchRunner` preset to the vectorised lockstep engine.
+
+    Identical records to the serial engine (up to wall-clock fields), one
+    process, no forks — see :mod:`repro.framework.lockstep` for the
+    mechanics and caveats.  Constructor arguments are those of
+    :class:`BatchRunner` (without ``engine``).
+    """
+
+    def __init__(
+        self,
+        system: DiscreteLTISystem,
+        controller: Controller,
+        monitor_factory: Callable[[], SafetyMonitor],
+        policy_factory: Callable[..., SkippingPolicy],
+        skip_input=None,
+        memory_length: int = 1,
+        reveal_future: bool = False,
+    ):
+        super().__init__(
+            system,
+            controller,
+            monitor_factory,
+            policy_factory,
+            skip_input=skip_input,
+            memory_length=memory_length,
+            reveal_future=reveal_future,
+            engine="lockstep",
+        )
 
 
 class ParallelBatchRunner(BatchRunner):
@@ -301,9 +478,10 @@ class ParallelBatchRunner(BatchRunner):
     * :meth:`run` pre-samples every realisation in the parent, in episode
       order, before fanning out — a sampler closing over one shared
       generator therefore sees exactly the serial call sequence;
-    * :meth:`run_seeded` re-derives episode ``i``'s private generator
-      from the root seed inside whichever worker runs it (cheaper than
-      shipping ``(T, n)`` arrays to every child for large batches).
+    * :meth:`run_seeded` re-derives episode ``i``'s private generators
+      (disturbance and policy) from the root seed inside whichever worker
+      runs it (cheaper than shipping ``(T, n)`` arrays to every child for
+      large batches).
 
     Args:
         jobs: Worker processes.  ``None``/0 = one per CPU; 1 (or platforms
@@ -316,7 +494,7 @@ class ParallelBatchRunner(BatchRunner):
         system: DiscreteLTISystem,
         controller: Controller,
         monitor_factory: Callable[[], SafetyMonitor],
-        policy_factory: Callable[[], SkippingPolicy],
+        policy_factory: Callable[..., SkippingPolicy],
         skip_input=None,
         memory_length: int = 1,
         reveal_future: bool = False,
@@ -333,14 +511,15 @@ class ParallelBatchRunner(BatchRunner):
         )
         self.jobs = jobs
 
-    def _dispatch(self, states: np.ndarray, realisation_for) -> BatchResult:
+    def _execute(
+        self, states: np.ndarray, realisation_for: Callable, policy_for: Callable
+    ) -> BatchResult:
         """Fan episodes out, then merge chunk results in episode order."""
-        episodes = range(len(states))
         records = fork_map(
             lambda episode: self._run_one(
-                episode, states[episode], realisation_for(episode)
+                episode, states[episode], realisation_for(episode), policy_for(episode)
             ),
-            episodes,
+            range(len(states)),
             jobs=self.jobs,
         )
         result = BatchResult()
@@ -352,26 +531,19 @@ class ParallelBatchRunner(BatchRunner):
         initial_states,
         disturbance_sampler: Callable[[int], np.ndarray],
     ) -> BatchResult:
-        """Parallel :meth:`BatchRunner.run` (same signature, same records)."""
+        """Parallel :meth:`BatchRunner.run` (same signature, same records).
+
+        Realisations are pre-sampled in the parent, in episode order, so
+        a sampler closing over one shared generator sees exactly the
+        serial call sequence before any worker starts.
+        """
         states = self._initial_states(initial_states)
         realisations = [
             np.atleast_2d(np.asarray(disturbance_sampler(episode), dtype=float))
             for episode in range(len(states))
         ]
-        return self._dispatch(states, realisations.__getitem__)
-
-    def run_seeded(
-        self,
-        initial_states,
-        disturbance_factory: Callable[[int, np.random.Generator], np.ndarray],
-        root_seed,
-    ) -> BatchResult:
-        """Parallel :meth:`BatchRunner.run_seeded` (same records)."""
-        states = self._initial_states(initial_states)
-        seeds = spawn_episode_seeds(root_seed, len(states))
-        return self._dispatch(
+        return self._execute(
             states,
-            lambda episode: disturbance_factory(
-                episode, np.random.default_rng(seeds[episode])
-            ),
+            realisations.__getitem__,
+            self._policy_provider(len(states)),
         )

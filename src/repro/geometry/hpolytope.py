@@ -17,7 +17,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.utils.lp import LPError, lp_feasible, maximize, solve_lp
+from repro.utils.lp import LPError, lp_feasible, maximize, maximize_batch, solve_lp
 from repro.utils.validation import as_matrix, as_vector
 
 __all__ = ["HPolytope", "EmptySetError"]
@@ -148,27 +148,37 @@ class HPolytope:
         return self.H.shape[0]
 
     def contains(self, point, tol: float = DEFAULT_TOL) -> bool:
-        """Return True iff ``point`` satisfies every halfspace within ``tol``."""
+        """Return True iff ``point`` satisfies every halfspace within ``tol``.
+
+        ``H x`` is evaluated as multiply + pairwise row reduction rather
+        than BLAS ``@`` so that :meth:`contains_batch` rows reproduce it
+        bit for bit (BLAS picks different gemv/gemm kernels per shape;
+        the batch engines' differential determinism contract needs the
+        classifications to agree exactly, not just within tolerance).
+        """
         x = as_vector(point, "point")
         if x.size != self.dim:
             raise ValueError(
                 f"point has dimension {x.size}, polytope has {self.dim}"
             )
-        return bool(np.all(self.H @ x <= self.h + tol))
+        return bool(np.all(np.sum(self.H * x, axis=1) <= self.h + tol))
 
     def contains_batch(self, points, tol: float = DEFAULT_TOL) -> np.ndarray:
         """Vectorised membership test for a ``(T, n)`` array of points.
 
-        One broadcast ``X @ H.T <= h + tol`` replaces ``T`` scalar
-        :meth:`contains` calls; this is the primitive the batch runner and
-        the safety monitor's trajectory scans are built on.
+        One broadcast replaces ``T`` scalar :meth:`contains` calls; this
+        is the primitive the batch runner and the safety monitor's
+        trajectory scans are built on.
 
         Returns:
             Boolean array of shape ``(T,)``; entry ``t`` is the exact
-            value :meth:`contains` would return for ``points[t]``.
+            (bitwise) value :meth:`contains` would return for
+            ``points[t]`` — both share the multiply + pairwise-reduce
+            evaluation (see :meth:`contains`).
         """
         X = self._as_batch(points)
-        return np.all(X @ self.H.T <= self.h + tol, axis=1)
+        products = np.sum(self.H * X[:, None, :], axis=2)
+        return np.all(products <= self.h + tol, axis=1)
 
     def contains_points(self, points, tol: float = DEFAULT_TOL) -> np.ndarray:
         """Alias of :meth:`contains_batch` (original spelling, kept for
@@ -180,10 +190,12 @@ class HPolytope:
 
         Returns:
             Float array of shape ``(T,)``; entry ``t`` equals
-            :meth:`violation` at ``points[t]`` (<= 0 means inside).
+            :meth:`violation` at ``points[t]`` bitwise (<= 0 means
+            inside) — shared multiply + pairwise-reduce evaluation, see
+            :meth:`contains`.
         """
         X = self._as_batch(points)
-        return np.max(X @ self.H.T - self.h, axis=1)
+        return np.max(np.sum(self.H * X[:, None, :], axis=2) - self.h, axis=1)
 
     def _as_batch(self, points) -> np.ndarray:
         """Validate and reshape ``points`` into a ``(T, n)`` float array."""
@@ -199,25 +211,30 @@ class HPolytope:
         return X
 
     def violation(self, point) -> float:
-        """Largest constraint violation at ``point`` (<= 0 means inside)."""
+        """Largest constraint violation at ``point`` (<= 0 means inside).
+
+        Evaluated like :meth:`contains` so :meth:`violation_batch` rows
+        match bitwise.
+        """
         x = as_vector(point, "point")
-        return float(np.max(self.H @ x - self.h))
+        return float(np.max(np.sum(self.H * x, axis=1) - self.h))
 
     def is_empty(self, tol: float = DEFAULT_TOL) -> bool:
         """True iff the polytope has no point (within ``tol`` slack)."""
         return not lp_feasible(self.H, self.h + tol)
 
     def is_bounded(self) -> bool:
-        """True iff the polytope is bounded (support finite along +/- axes)."""
-        for i in range(self.dim):
-            direction = np.zeros(self.dim)
-            for sign in (1.0, -1.0):
-                direction[i] = sign
-                try:
-                    self.support(direction)
-                except LPError:
-                    return False
-            direction[i] = 0.0
+        """True iff the polytope is bounded (support finite along +/- axes).
+
+        All ``2n`` axis supports are solved as one stacked LP
+        (:meth:`support_batch`); any unbounded direction (or an empty set)
+        fails the stack, which is exactly the False case.
+        """
+        eye = np.eye(self.dim)
+        try:
+            self.support_batch(np.vstack([eye, -eye]))
+        except LPError:
+            return False
         return True
 
     def support(self, direction) -> float:
@@ -229,6 +246,25 @@ class HPolytope:
         """
         a = as_vector(direction, "direction")
         return maximize(a, self.H, self.h).value
+
+    def support_batch(self, directions) -> np.ndarray:
+        """Support values for every row of a ``(k, n)`` direction array.
+
+        One stacked block-diagonal LP (:func:`repro.utils.lp.maximize_batch`)
+        instead of ``k`` sequential solves — the primitive behind
+        :meth:`pontryagin_difference`, :meth:`minkowski_sum`,
+        :meth:`bounding_box` and :meth:`is_bounded`.
+
+        Raises:
+            repro.utils.lp.LPError: If the polytope is empty or unbounded
+                in any of the directions.
+        """
+        D = np.atleast_2d(np.asarray(directions, dtype=float))
+        if D.shape[1] != self.dim:
+            raise ValueError(
+                f"directions have dimension {D.shape[1]}, polytope has {self.dim}"
+            )
+        return maximize_batch(D, self.H, self.h)
 
     def support_point(self, direction) -> np.ndarray:
         """An argmax of the support function in ``direction``."""
@@ -267,14 +303,22 @@ class HPolytope:
 
         Checked by LP: ``other ⊆ self`` iff for every halfspace ``(a, b)``
         of ``self``, the support of ``other`` in direction ``a`` is at most
-        ``b``.  An empty ``other`` is a subset of anything.
+        ``b``.  All facet supports are solved as one stacked LP
+        (:meth:`support_batch`); if the stack fails (e.g. ``other``
+        unbounded in some direction) the per-facet loop decides, keeping
+        the early-exit semantics.  An empty ``other`` is a subset of
+        anything.
         """
         if other.is_empty():
             return True
-        for a, b in zip(self.H, self.h):
-            if other.support(a) > b + tol:
-                return False
-        return True
+        try:
+            supports = other.support_batch(self.H)
+        except LPError:
+            for a, b in zip(self.H, self.h):
+                if other.support(a) > b + tol:
+                    return False
+            return True
+        return bool(np.all(supports <= self.h + tol))
 
     def equals(self, other: "HPolytope", tol: float = DEFAULT_TOL) -> bool:
         """Mutual containment within ``tol``."""
@@ -323,7 +367,7 @@ class HPolytope:
         """
         if other.dim != self.dim:
             raise ValueError("dimension mismatch in Pontryagin difference")
-        shrink = np.array([other.support(a) for a in self.H])
+        shrink = other.support_batch(self.H)
         return HPolytope(self.H, self.h - shrink, normalize=False)
 
     def minkowski_sum(self, other: "HPolytope") -> "HPolytope":
@@ -349,9 +393,7 @@ class HPolytope:
                 return HPolytope.from_box(sums.min(axis=0), sums.max(axis=0))
             return HPolytope.from_vertices(sums)
         normals = np.vstack([self.H, other.H])
-        offsets = np.array(
-            [self.support(a) + other.support(a) for a in normals]
-        )
+        offsets = self.support_batch(normals) + other.support_batch(normals)
         return HPolytope(normals, offsets).remove_redundancies()
 
     def linear_preimage(self, A, offset=None) -> "HPolytope":
@@ -431,14 +473,9 @@ class HPolytope:
         Raises:
             repro.utils.lp.LPError: If unbounded or empty.
         """
-        lower = np.empty(self.dim)
-        upper = np.empty(self.dim)
-        for i in range(self.dim):
-            e = np.zeros(self.dim)
-            e[i] = 1.0
-            upper[i] = self.support(e)
-            lower[i] = -self.support(-e)
-        return lower, upper
+        eye = np.eye(self.dim)
+        values = self.support_batch(np.vstack([eye, -eye]))
+        return -values[self.dim :], values[: self.dim]
 
     # ------------------------------------------------------------------
     # Vertices and sampling

@@ -50,9 +50,29 @@ class DecisionContext:
 class SkippingPolicy(ABC):
     """Interface for the decision function Ω."""
 
+    #: True when :meth:`decide` is a pure function of the context — no
+    #: internal state, no randomness.  The lockstep engine then evaluates
+    #: one representative instance across all episodes via
+    #: :meth:`decide_batch`; stateful/stochastic policies keep their
+    #: per-episode instances and are queried row by row.
+    stateless: bool = False
+
     @abstractmethod
     def decide(self, context: DecisionContext) -> int:
         """Return 1 to run the controller, 0 to skip."""
+
+    def decide_batch(self, contexts) -> np.ndarray:
+        """Decide for a sequence of contexts at once.
+
+        The generic fallback loops :meth:`decide`, so every policy is
+        batch-callable; context-blind and vectorisable policies override
+        it.  Entry ``i`` must equal ``decide(contexts[i])`` exactly.
+
+        Returns:
+            Int array (values :data:`RUN`/:data:`SKIP`) aligned with
+            ``contexts``.
+        """
+        return np.array([self.decide(context) for context in contexts], dtype=int)
 
     def observe(
         self,
@@ -71,8 +91,13 @@ class SkippingPolicy(ABC):
 class AlwaysRunPolicy(SkippingPolicy):
     """Ω ≡ 1: never skip (the RMPC-only baseline inside the framework)."""
 
+    stateless = True
+
     def decide(self, context: DecisionContext) -> int:
         return RUN
+
+    def decide_batch(self, contexts) -> np.ndarray:
+        return np.full(len(contexts), RUN, dtype=int)
 
 
 class AlwaysSkipPolicy(SkippingPolicy):
@@ -82,5 +107,10 @@ class AlwaysSkipPolicy(SkippingPolicy):
     zero input whenever ``x ∈ X'``, κ whenever the monitor forces it.
     """
 
+    stateless = True
+
     def decide(self, context: DecisionContext) -> int:
         return SKIP
+
+    def decide_batch(self, contexts) -> np.ndarray:
+        return np.full(len(contexts), SKIP, dtype=int)

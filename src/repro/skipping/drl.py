@@ -68,6 +68,10 @@ class DRLSkippingPolicy(SkippingPolicy):
             raise ValueError("disturbance_scale must be positive")
         self.disturbance_components = tuple(disturbance_components)
         self.epsilon = float(epsilon)
+        # Greedy evaluation (ε = 0) is a pure function of the context, so
+        # the lockstep engine may share one instance across episodes; any
+        # exploration makes decisions draw-order dependent.
+        self.stateless = self.epsilon == 0.0
 
     def observation(self, context: DecisionContext) -> np.ndarray:
         """The agent's observation for this decision context."""

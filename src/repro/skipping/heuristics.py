@@ -25,6 +25,8 @@ class PeriodicSkipPolicy(SkippingPolicy):
     A weakly-hard-style (1, period) pattern: deterministic, context-blind.
     """
 
+    stateless = True
+
     def __init__(self, period: int, offset: int = 0):
         if period < 1:
             raise ValueError("period must be >= 1")
@@ -33,6 +35,10 @@ class PeriodicSkipPolicy(SkippingPolicy):
 
     def decide(self, context: DecisionContext) -> int:
         return RUN if (context.time + self.offset) % self.period == 0 else SKIP
+
+    def decide_batch(self, contexts) -> np.ndarray:
+        times = np.array([context.time for context in contexts], dtype=int)
+        return np.where((times + self.offset) % self.period == 0, RUN, SKIP)
 
 
 class RandomSkipPolicy(SkippingPolicy):
@@ -56,6 +62,8 @@ class MarginThresholdPolicy(SkippingPolicy):
     (rows are unit-norm, so the slack is a Euclidean distance bound).
     """
 
+    stateless = True
+
     def __init__(self, strengthened_set: HPolytope, margin: float):
         if margin < 0:
             raise ValueError("margin must be non-negative")
@@ -65,3 +73,10 @@ class MarginThresholdPolicy(SkippingPolicy):
     def decide(self, context: DecisionContext) -> int:
         slack = -self.strengthened_set.violation(context.state)
         return SKIP if slack >= self.margin else RUN
+
+    def decide_batch(self, contexts) -> np.ndarray:
+        if not len(contexts):
+            return np.zeros(0, dtype=int)
+        states = np.array([context.state for context in contexts], dtype=float)
+        slack = -self.strengthened_set.violation_batch(states)
+        return np.where(slack >= self.margin, SKIP, RUN)

@@ -121,12 +121,57 @@ class DiscreteLTISystem:
 
         ``disturbance`` defaults to zero (the nominal system used by the
         tube-MPC predictions).
+
+        The matvecs are evaluated as multiply + pairwise row reduction
+        rather than BLAS ``@``: the reduction's rounding depends only on
+        the contraction length, so :meth:`step_batch` reproduces this
+        result bit for bit — BLAS picks different kernels for gemv/gemm
+        and for different batch heights, which would break the batch
+        engines' record-for-record determinism contract.
         """
         x = as_vector(state, "state")
         u = as_vector(control, "control")
-        nxt = self.A @ x + self.B @ u
+        nxt = np.sum(self.A * x, axis=1) + np.sum(self.B * u, axis=1)
         if disturbance is not None:
             nxt = nxt + as_vector(disturbance, "disturbance")
+        return nxt
+
+    def step_batch(self, states, controls, disturbances=None) -> np.ndarray:
+        """One dynamics step for ``N`` trajectories at once.
+
+        The lockstep engine's replacement for ``N`` scalar :meth:`step`
+        calls.  Row ``i`` is bitwise-equal to ``step(states[i], …)``: both
+        paths share the multiply + pairwise-reduce evaluation (see
+        :meth:`step`), whose rounding is independent of the batch height.
+
+        Args:
+            states: ``(N, n)`` state matrix.
+            controls: ``(N, m)`` input matrix.
+            disturbances: Optional ``(N, n)`` disturbance matrix (defaults
+                to zero, matching :meth:`step`).
+
+        Returns:
+            ``(N, n)`` array; row ``i`` equals ``step(states[i],
+            controls[i], disturbances[i])``.
+        """
+        X = np.atleast_2d(np.asarray(states, dtype=float))
+        U = np.atleast_2d(np.asarray(controls, dtype=float))
+        if X.shape[1] != self.n:
+            raise ValueError(f"states must be (N, {self.n}), got {X.shape}")
+        if U.shape != (X.shape[0], self.m):
+            raise ValueError(
+                f"controls must be ({X.shape[0]}, {self.m}), got {U.shape}"
+            )
+        nxt = np.sum(self.A * X[:, None, :], axis=2) + np.sum(
+            self.B * U[:, None, :], axis=2
+        )
+        if disturbances is not None:
+            W = np.atleast_2d(np.asarray(disturbances, dtype=float))
+            if W.shape != X.shape:
+                raise ValueError(
+                    f"disturbances must be {X.shape}, got {W.shape}"
+                )
+            nxt = nxt + W
         return nxt
 
     def closed_loop_matrix(self, K) -> np.ndarray:

@@ -10,11 +10,21 @@ otherwise.  All wrappers return plain floats/arrays and raise
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
 
 import numpy as np
+import scipy.sparse as sp
 from scipy.optimize import linprog
 
-__all__ = ["LPError", "LPSolution", "solve_lp", "lp_feasible", "maximize"]
+__all__ = [
+    "LPError",
+    "LPSolution",
+    "solve_lp",
+    "lp_feasible",
+    "maximize",
+    "solve_lp_batch",
+    "maximize_batch",
+]
 
 
 class LPError(RuntimeError):
@@ -89,6 +99,77 @@ def lp_feasible(a_ub, b_ub, a_eq=None, b_eq=None) -> bool:
     if res.status == 2:
         return False
     raise LPError(f"feasibility LP failed (status={res.status}): {res.message}")
+
+
+def solve_lp_batch(objectives, a_ub, b_ub) -> List[LPSolution]:
+    """Minimise every row of ``objectives`` over one shared feasible region.
+
+    The ``k`` independent problems ``min c_i @ x  s.t.  a_ub x <= b_ub``
+    are assembled into a single block-diagonal LP (variables
+    ``[x_1 … x_k]``, constraints ``diag(a_ub, …, a_ub)``) and handed to
+    HiGHS in one call — replacing a Python loop of ``k`` ``linprog``
+    calls, which is what the per-facet support computations of
+    :class:`repro.geometry.HPolytope` used to do.  The constraint matrix
+    is built sparse, so memory stays ``O(k · nnz(a_ub))``.
+
+    Because the blocks are fully decoupled, the stacked optimum restricted
+    to block ``i`` is exactly the optimum of problem ``i``.
+
+    Raises:
+        LPError: If the stacked LP fails.  Any single unbounded block (or
+            the shared region being empty) makes the whole stack fail, so
+            per-block failure attribution is lost — callers that need it
+            should fall back to scalar :func:`solve_lp` calls.
+    """
+    C = np.atleast_2d(np.asarray(objectives, dtype=float))
+    k = C.shape[0]
+    if k == 0:
+        return []
+    if k == 1:
+        return [solve_lp(C[0], a_ub=a_ub, b_ub=b_ub)]
+    A = np.asarray(a_ub, dtype=float)
+    b = np.asarray(b_ub, dtype=float)
+    n = A.shape[1]
+    if C.shape[1] != n:
+        raise ValueError(
+            f"objectives have {C.shape[1]} columns, constraints have {n}"
+        )
+    stacked_A = sp.block_diag([sp.csr_matrix(A)] * k, format="csr")
+    stacked_b = np.tile(b, k)
+    res = linprog(
+        C.reshape(-1),
+        A_ub=stacked_A,
+        b_ub=stacked_b,
+        bounds=[(None, None)] * (n * k),
+        method="highs",
+    )
+    if not res.success:
+        raise LPError(
+            f"stacked LP ({k} blocks) failed (status={res.status}): {res.message}"
+        )
+    X = np.asarray(res.x, dtype=float).reshape(k, n)
+    values = np.einsum("ij,ij->i", C, X)
+    return [
+        LPSolution(x=X[i], value=float(values[i]), status=int(res.status))
+        for i in range(k)
+    ]
+
+
+def maximize_batch(directions, a_ub, b_ub) -> np.ndarray:
+    """Support values ``max d_i @ x`` for every row of ``directions``.
+
+    One stacked block-diagonal LP (see :func:`solve_lp_batch`) instead of
+    a loop of :func:`maximize` calls.
+
+    Returns:
+        Float array of per-direction maxima (signs already flipped back).
+
+    Raises:
+        LPError: If the region is empty or unbounded in any direction.
+    """
+    D = np.atleast_2d(np.asarray(directions, dtype=float))
+    solutions = solve_lp_batch(-D, a_ub, b_ub)
+    return np.array([-sol.value for sol in solutions])
 
 
 def maximize(objective, a_ub, b_ub) -> LPSolution:

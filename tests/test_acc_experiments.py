@@ -8,9 +8,12 @@ from repro.acc.experiments import (
     FIG4_BIN_EDGES,
     ApproachStats,
     ComparisonResult,
+    evaluate_approaches,
     experiment_vf_range,
     train_skipping_agent,
 )
+from repro.rl.dqn import DQNConfig, DoubleDQNAgent
+from repro.skipping.drl import DRLSkippingPolicy
 
 
 def _stats(fuel, energy=None):
@@ -92,6 +95,67 @@ class TestComparisonResult:
     def test_unknown_approach_raises(self, comparison):
         with pytest.raises(ValueError):
             comparison.fuel_saving("magic")
+
+
+class TestEvaluateEngines:
+    """The lockstep engine must reproduce the serial evaluation exactly
+    for every approach of the paper's comparison — RMPC-only
+    (controller-only rollout), bang-bang (AlwaysSkip) and the DRL policy
+    (a greedy, ε = 0 DQN wrapper)."""
+
+    @pytest.fixture(scope="class")
+    def paired(self, acc_case):
+        # Untrained but deterministic agent: the comparison only needs a
+        # fixed decision function, not a good one.
+        agent = DoubleDQNAgent(
+            DQNConfig(state_dim=3, hidden=(8, 8)), np.random.default_rng(7)
+        )
+        lower, upper = acc_case.system.safe_set.bounding_box()
+        policy = DRLSkippingPolicy(
+            agent,
+            state_scale=np.maximum(np.abs(lower), np.abs(upper)),
+            disturbance_scale=max(acc_case.params.w_bound, 1e-6),
+        )
+        kwargs = dict(num_cases=4, horizon=15, seed=123, drl_policy=policy)
+        serial = evaluate_approaches(acc_case, "overall", engine="serial", **kwargs)
+        lockstep = evaluate_approaches(
+            acc_case, "overall", engine="lockstep", **kwargs
+        )
+        return serial, lockstep
+
+    @pytest.mark.parametrize("approach", ["rmpc_only", "bang_bang", "drl"])
+    def test_lockstep_matches_serial(self, paired, approach):
+        serial, lockstep = paired
+        left, right = serial.stats(approach), lockstep.stats(approach)
+        np.testing.assert_array_equal(left.fuel, right.fuel)
+        np.testing.assert_array_equal(left.energy, right.energy)
+        np.testing.assert_array_equal(left.skip_rate, right.skip_rate)
+        np.testing.assert_array_equal(left.forced_steps, right.forced_steps)
+
+    def test_engine_validation(self, acc_case):
+        with pytest.raises(ValueError, match="engine"):
+            evaluate_approaches(acc_case, "overall", num_cases=1, engine="warp")
+        with pytest.raises(ValueError, match="num_cases"):
+            evaluate_approaches(acc_case, "overall", num_cases=0)
+
+    def test_lockstep_rejects_stateful_drl_policy(self, acc_case):
+        """An exploring (ε > 0) DRL policy is draw-order dependent: the
+        lockstep engine must refuse it rather than silently diverge."""
+        agent = DoubleDQNAgent(
+            DQNConfig(state_dim=3, hidden=(8, 8)), np.random.default_rng(7)
+        )
+        lower, upper = acc_case.system.safe_set.bounding_box()
+        exploring = DRLSkippingPolicy(
+            agent,
+            state_scale=np.maximum(np.abs(lower), np.abs(upper)),
+            disturbance_scale=max(acc_case.params.w_bound, 1e-6),
+            epsilon=0.1,
+        )
+        with pytest.raises(ValueError, match="stateless"):
+            evaluate_approaches(
+                acc_case, "overall", num_cases=2, horizon=5,
+                drl_policy=exploring, engine="lockstep",
+            )
 
 
 class TestHarnessValidation:

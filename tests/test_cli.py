@@ -51,6 +51,18 @@ class TestParser:
         assert (args.episodes, args.jobs, args.seed) == (8, 2, 7)
         assert args.out == "records.csv"
 
+    def test_engine_flag_on_all_batch_commands(self):
+        for argv in (
+            ["batch", "--engine", "lockstep"],
+            ["compare", "--engine", "serial"],
+            ["experiment", "ex1", "--engine", "parallel"],
+        ):
+            assert build_parser().parse_args(argv).engine == argv[-1]
+        # Engine is inferred from --jobs when not given.
+        assert build_parser().parse_args(["batch"]).engine is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--engine", "warp"])
+
 
 class TestExecution:
     def test_sets_command_renders(self, acc_case, capsys):
@@ -91,3 +103,21 @@ class TestExecution:
 
         first, second = (BatchResult.from_json(path) for path in paths)
         assert first.deterministic_records() == second.deterministic_records()
+
+    def test_batch_engines_agree_end_to_end(self, acc_case, capsys, tmp_path):
+        """The CLI's serial and lockstep engines write identical records."""
+        results = {}
+        for engine in ("serial", "lockstep"):
+            path = tmp_path / f"{engine}.json"
+            assert main(
+                ["batch", "--episodes", "3", "--horizon", "8", "--seed", "5",
+                 "--engine", engine, "--out", str(path)]
+            ) == 0
+            assert f"engine={engine}" in capsys.readouterr().out
+            from repro.framework import BatchResult
+
+            results[engine] = BatchResult.from_json(path)
+        assert (
+            results["serial"].deterministic_records()
+            == results["lockstep"].deterministic_records()
+        )

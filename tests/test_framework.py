@@ -339,6 +339,68 @@ class TestIntermittentController:
         np.testing.assert_allclose(futures[0], W)
         assert futures[-1].shape[0] == 1
 
+    def test_memory_window_is_exact_last_r(self, di_setup, rng):
+        """With r > 1 the context must hold exactly w(t−r+1) … w(t),
+        zero-padded before the episode start — at *every* step."""
+        system, controller, monitor, _xi, xp = di_setup
+        r, steps = 3, 8
+
+        windows = []
+
+        class Recorder(SkippingPolicy):
+            def decide(self, context):
+                windows.append((context.time, context.past_disturbances))
+                return 1
+
+        W = self._disturbances(system, rng, steps=steps)
+        IntermittentController(
+            system, controller, monitor, Recorder(), memory_length=r
+        ).run(xp.interior_point(), W)
+        assert [t for t, _ in windows] == list(range(steps))
+        for t, window in windows:
+            assert window.shape == (r, system.n)
+            padded = np.vstack([np.zeros((r, system.n)), W[: t + 1]])
+            np.testing.assert_array_equal(window, padded[-r:])
+
+    def test_reveal_future_is_exact_suffix(self, di_setup, rng):
+        """With reveal_future the context must hold exactly w(t) … w(T−1)."""
+        system, controller, monitor, _xi, xp = di_setup
+        steps = 6
+
+        futures = []
+
+        class Recorder(SkippingPolicy):
+            def decide(self, context):
+                futures.append((context.time, context.future_disturbances))
+                return 1
+
+        W = self._disturbances(system, rng, steps=steps)
+        IntermittentController(
+            system, controller, monitor, Recorder(), reveal_future=True
+        ).run(xp.interior_point(), W)
+        assert [t for t, _ in futures] == list(range(steps))
+        for t, future in futures:
+            np.testing.assert_array_equal(future, W[t:])
+
+    def test_reveal_future_with_memory_window_combined(self, di_setup, rng):
+        system, controller, monitor, _xi, xp = di_setup
+
+        contexts = []
+
+        class Recorder(SkippingPolicy):
+            def decide(self, context):
+                contexts.append(context)
+                return 1
+
+        W = self._disturbances(system, rng, steps=5)
+        IntermittentController(
+            system, controller, monitor, Recorder(),
+            memory_length=2, reveal_future=True,
+        ).run(xp.interior_point(), W)
+        last = contexts[-1]
+        np.testing.assert_array_equal(last.past_disturbances, W[3:5])
+        np.testing.assert_array_equal(last.future_disturbances, W[4:])
+
     def test_observe_hook_called_when_learning(self, di_setup, rng):
         system, controller, monitor, _xi, xp = di_setup
 

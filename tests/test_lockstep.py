@@ -1,0 +1,452 @@
+"""Differential determinism harness for the lockstep batch engine.
+
+Extends the serial≡parallel harness of ``test_parallel_runner.py`` to the
+third engine: ``BatchRunner(engine="lockstep")`` must produce
+record-for-record identical deterministic fields to the serial reference
+for every built-in controller × policy combination — including stochastic
+policies, which join the contract through rng-accepting factories fed
+from per-episode seed streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controllers import ConstantController, LinearFeedback, lqr_gain
+from repro.controllers.base import Controller
+from repro.framework import (
+    BatchRunner,
+    LockstepEngine,
+    ParallelBatchRunner,
+    SafetyMonitor,
+    lockstep_controller_only,
+    run_controller_only,
+    run_lockstep,
+)
+from repro.invariance import maximal_rpi, strengthened_safe_set
+from repro.skipping import (
+    RUN,
+    SKIP,
+    AlwaysRunPolicy,
+    AlwaysSkipPolicy,
+    DecisionContext,
+    MarginThresholdPolicy,
+    PeriodicSkipPolicy,
+    RandomSkipPolicy,
+)
+
+ROOT_SEED = 20260730
+HORIZON = 25
+
+
+@pytest.fixture
+def di_batch(double_integrator):
+    """Double integrator + certified sets + factories for the engines."""
+    system = double_integrator
+    K = lqr_gain(system.A, system.B, np.eye(2), np.eye(1))
+    seed_set = system.safe_set.intersect(system.input_set.linear_preimage(K))
+    xi = maximal_rpi(
+        system.closed_loop_matrix(K), seed_set, system.disturbance_set
+    ).invariant_set
+    xp = strengthened_safe_set(system, xi)
+
+    def monitor_factory():
+        return SafetyMonitor(
+            strengthened_set=xp, invariant_set=xi, safe_set=system.safe_set
+        )
+
+    lo, hi = system.disturbance_set.bounding_box()
+
+    def disturbance_factory(episode, rng):
+        return rng.uniform(lo, hi, size=(HORIZON, system.n))
+
+    controller = LinearFeedback(K)
+
+    def make(cls, policy_factory=AlwaysSkipPolicy, **extra):
+        return cls(system, controller, monitor_factory, policy_factory, **extra)
+
+    states = xp.sample(np.random.default_rng(5), 6)
+    return make, disturbance_factory, states, xp
+
+
+POLICY_FACTORIES = {
+    "always_run": AlwaysRunPolicy,
+    "always_skip": AlwaysSkipPolicy,
+    "periodic": lambda: PeriodicSkipPolicy(3, offset=1),
+    "random": lambda rng: RandomSkipPolicy(0.4, rng),
+}
+
+
+class TestLockstepMatchesSerial:
+    @pytest.mark.parametrize("policy_name", sorted(POLICY_FACTORIES))
+    def test_record_for_record_identical(self, di_batch, policy_name):
+        make, factory, states, _xp = di_batch
+        policy_factory = POLICY_FACTORIES[policy_name]
+        serial = make(BatchRunner, policy_factory).run_seeded(
+            states, factory, ROOT_SEED
+        )
+        lockstep = make(LockstepEngine, policy_factory).run_seeded(
+            states, factory, ROOT_SEED
+        )
+        assert len(serial) == len(lockstep) == len(states)
+        assert serial.deterministic_records() == lockstep.deterministic_records()
+
+    def test_margin_threshold_policy(self, di_batch):
+        make, factory, states, xp = di_batch
+        policy_factory = lambda: MarginThresholdPolicy(xp, 0.05)
+        serial = make(BatchRunner, policy_factory).run_seeded(
+            states, factory, ROOT_SEED
+        )
+        lockstep = make(LockstepEngine, policy_factory).run_seeded(
+            states, factory, ROOT_SEED
+        )
+        assert serial.deterministic_records() == lockstep.deterministic_records()
+
+    def test_three_engines_agree(self, di_batch):
+        make, factory, states, _xp = di_batch
+        serial = make(BatchRunner).run_seeded(states, factory, ROOT_SEED)
+        parallel = make(ParallelBatchRunner, jobs=2).run_seeded(
+            states, factory, ROOT_SEED
+        )
+        lockstep = make(BatchRunner, engine="lockstep").run_seeded(
+            states, factory, ROOT_SEED
+        )
+        assert (
+            serial.deterministic_records()
+            == parallel.deterministic_records()
+            == lockstep.deterministic_records()
+        )
+
+    def test_unseeded_run_parity(self, di_batch):
+        make, _factory, states, _xp = di_batch
+
+        def sampler_with(rng):
+            return lambda episode: rng.uniform(-0.02, 0.02, size=(HORIZON, 2))
+
+        serial = make(BatchRunner).run(states, sampler_with(np.random.default_rng(11)))
+        lockstep = make(LockstepEngine).run(
+            states, sampler_with(np.random.default_rng(11))
+        )
+        assert serial.deterministic_records() == lockstep.deterministic_records()
+
+    def test_memory_length_and_reveal_future_parity(self, di_batch):
+        make, factory, states, _xp = di_batch
+        kwargs = dict(memory_length=4, reveal_future=True)
+        serial = make(BatchRunner, lambda: PeriodicSkipPolicy(2), **kwargs)
+        lockstep = make(LockstepEngine, lambda: PeriodicSkipPolicy(2), **kwargs)
+        assert (
+            serial.run_seeded(states, factory, ROOT_SEED).deterministic_records()
+            == lockstep.run_seeded(states, factory, ROOT_SEED).deterministic_records()
+        )
+
+    def test_ragged_horizons(self, di_batch):
+        """Episodes with different lengths finish independently."""
+        make, _factory, states, _xp = di_batch
+
+        def ragged(episode, rng):
+            return rng.uniform(-0.02, 0.02, size=(5 + 7 * episode, 2))
+
+        serial = make(BatchRunner).run_seeded(states, ragged, ROOT_SEED)
+        lockstep = make(LockstepEngine).run_seeded(states, ragged, ROOT_SEED)
+        assert serial.deterministic_records() == lockstep.deterministic_records()
+
+    def test_all_rows_forced_step(self, di_batch):
+        """Initial states in XI − X': every row is monitor-forced at t=0,
+        so the strengthened-context list is empty — the stateless
+        decide_batch path must cope (regression: MarginThreshold crashed
+        on an empty batch)."""
+        make, factory, _states, xp = di_batch
+        runner = make(BatchRunner)
+        monitor = runner.monitor_factory()
+        candidates = monitor.invariant_set.sample(np.random.default_rng(3), 200)
+        outside = candidates[~xp.contains_batch(candidates)]
+        assert len(outside) >= 2, "need XI − X' samples for this scenario"
+        states = outside[:3]
+        for policy_factory in (AlwaysSkipPolicy, lambda: MarginThresholdPolicy(xp, 0.05)):
+            serial = make(BatchRunner, policy_factory).run_seeded(
+                states, factory, ROOT_SEED
+            )
+            lockstep = make(LockstepEngine, policy_factory).run_seeded(
+                states, factory, ROOT_SEED
+            )
+            assert serial.deterministic_records() == lockstep.deterministic_records()
+            assert serial.records[0].forced_steps >= 1
+
+    def test_heterogeneous_stateless_policies_fall_back_to_per_row(self, di_batch):
+        """`stateless` does not mean interchangeable: differently
+        parameterised Periodic policies must keep their own periods."""
+        make, _factory, states, _xp = di_batch
+        runner = make(BatchRunner)
+        policies = [PeriodicSkipPolicy(2 + (i % 3)) for i in range(len(states))]
+        realisations = [np.zeros((12, 2)) for _ in states]
+        batch = run_lockstep(
+            runner.system,
+            runner.controller,
+            [runner.monitor_factory() for _ in states],
+            policies,
+            states,
+            realisations,
+        )
+        for i, stats in enumerate(batch):
+            period = 2 + (i % 3)
+            expected = [
+                1 if t % period == 0 else 0 for t in range(12)
+            ]
+            # Forced steps run regardless of the policy's proposal.
+            proposal_respected = [
+                int(z) == e or bool(f)
+                for z, e, f in zip(stats.decisions, expected, stats.forced)
+            ]
+            assert all(proposal_respected)
+
+    def test_seed_stability_and_sensitivity(self, di_batch):
+        make, factory, states, _xp = di_batch
+        runner = make(LockstepEngine, AlwaysRunPolicy)
+        first = runner.run_seeded(states, factory, ROOT_SEED)
+        again = runner.run_seeded(states, factory, ROOT_SEED)
+        other = runner.run_seeded(states, factory, ROOT_SEED + 1)
+        assert first.deterministic_records() == again.deterministic_records()
+        assert first.deterministic_records() != other.deterministic_records()
+
+    def test_empty_batch(self, di_batch):
+        make, factory, _states, _xp = di_batch
+        result = make(LockstepEngine).run_seeded(np.empty((0, 2)), factory, ROOT_SEED)
+        assert len(result) == 0
+        with pytest.raises(ValueError, match="empty"):
+            result.mean("energy")
+
+    def test_rejects_initial_outside_xi(self, di_batch):
+        make, factory, _states, _xp = di_batch
+        with pytest.raises(ValueError, match="invariant set"):
+            make(LockstepEngine).run_seeded(
+                np.array([[50.0, 50.0]]), factory, ROOT_SEED
+            )
+
+    def test_engine_name_validation(self, di_batch):
+        make, _factory, _states, _xp = di_batch
+        with pytest.raises(ValueError, match="engine"):
+            make(BatchRunner, engine="warp")
+
+
+class TestStochasticPolicySeeding:
+    """Satellite: rng-accepting factories make stochastic policies
+    engine-invariant — every engine builds episode i's policy from the
+    same private stream."""
+
+    def test_serial_lockstep_parallel_identical(self, di_batch):
+        make, factory, states, _xp = di_batch
+        pf = lambda rng: RandomSkipPolicy(0.5, rng)
+        serial = make(BatchRunner, pf).run_seeded(states, factory, ROOT_SEED)
+        lockstep = make(LockstepEngine, pf).run_seeded(states, factory, ROOT_SEED)
+        parallel = make(ParallelBatchRunner, pf, jobs=3).run_seeded(
+            states, factory, ROOT_SEED
+        )
+        assert (
+            serial.deterministic_records()
+            == lockstep.deterministic_records()
+            == parallel.deterministic_records()
+        )
+
+    def test_policy_streams_differ_across_episodes(self, di_batch):
+        make, factory, states, _xp = di_batch
+        drawn = []
+        pf = lambda rng: drawn.append(rng.integers(1 << 62)) or RandomSkipPolicy(0.5, rng)
+        make(BatchRunner, pf).run_seeded(states, factory, ROOT_SEED)
+        assert len(set(drawn)) == len(states)
+
+    def test_policy_stream_independent_of_disturbance_stream(self, di_batch):
+        make, factory, states, _xp = di_batch
+        seen = {}
+
+        def df(episode, rng):
+            seen[episode] = rng.integers(1 << 62)
+            return np.zeros((HORIZON, 2))
+
+        drawn = {}
+        counter = iter(range(len(states)))
+        pf = lambda rng: drawn.update({next(counter): rng.integers(1 << 62)}) or AlwaysSkipPolicy()
+        make(BatchRunner, pf).run_seeded(states, df, ROOT_SEED)
+        for episode in drawn:
+            assert drawn[episode] != seen[episode]
+
+    def test_zero_arg_factories_still_work(self, di_batch):
+        make, factory, states, _xp = di_batch
+        result = make(BatchRunner, AlwaysSkipPolicy).run_seeded(
+            states, factory, ROOT_SEED
+        )
+        assert len(result) == len(states)
+
+    def test_optional_param_factories_stay_zero_arg(self, di_batch):
+        """A factory whose positional parameters all have defaults must
+        keep being called with no arguments (regression: the rng was
+        passed into the optional slot)."""
+        make, factory, states, _xp = di_batch
+        pf = lambda period=3: PeriodicSkipPolicy(period)
+        serial = make(BatchRunner, pf).run_seeded(states, factory, ROOT_SEED)
+        lockstep = make(LockstepEngine, pf).run_seeded(states, factory, ROOT_SEED)
+        reference = make(
+            BatchRunner, lambda: PeriodicSkipPolicy(3)
+        ).run_seeded(states, factory, ROOT_SEED)
+        assert serial.deterministic_records() == reference.deterministic_records()
+        assert serial.deterministic_records() == lockstep.deterministic_records()
+
+
+class TestBatchPrimitives:
+    """Row ``i`` of every batch primitive must equal the scalar call."""
+
+    def test_linear_feedback_compute_batch(self, rng):
+        K = rng.normal(size=(2, 3))
+        controller = LinearFeedback(K, saturation=([-1.0, -1.0], [1.0, 1.0]))
+        X = rng.normal(size=(17, 3))
+        batch = controller.compute_batch(X)
+        for i, x in enumerate(X):
+            assert np.array_equal(batch[i], controller.compute(x))
+
+    def test_constant_controller_compute_batch(self):
+        controller = ConstantController([0.5, -0.25])
+        batch = controller.compute_batch(np.zeros((4, 3)))
+        assert batch.shape == (4, 2)
+        assert np.array_equal(batch, np.tile([0.5, -0.25], (4, 1)))
+
+    def test_generic_compute_batch_fallback(self, rng):
+        class Cubic(Controller):
+            input_dim = 1
+
+            def compute(self, state):
+                return np.array([float(np.sum(np.asarray(state) ** 3))])
+
+        controller = Cubic()
+        X = rng.normal(size=(5, 2))
+        batch = controller.compute_batch(X)
+        for i, x in enumerate(X):
+            assert np.array_equal(batch[i], controller.compute(x))
+        assert controller.compute_batch(np.empty((0, 2))).shape == (0, 1)
+
+    def test_step_batch_matches_scalar(self, double_integrator, rng):
+        system = double_integrator
+        X = rng.normal(size=(9, 2)) * 0.1
+        U = rng.normal(size=(9, 1))
+        W = rng.normal(size=(9, 2)) * 0.01
+        batch = system.step_batch(X, U, W)
+        for i in range(9):
+            assert np.array_equal(batch[i], system.step(X[i], U[i], W[i]))
+        nominal = system.step_batch(X, U)
+        for i in range(9):
+            assert np.array_equal(nominal[i], system.step(X[i], U[i]))
+
+    def test_step_batch_validates_shapes(self, double_integrator):
+        with pytest.raises(ValueError):
+            double_integrator.step_batch(np.zeros((3, 2)), np.zeros((2, 1)))
+        with pytest.raises(ValueError):
+            double_integrator.step_batch(np.zeros((3, 2)), np.zeros((3, 1)), np.zeros((3, 1)))
+
+    def test_decide_batch_matches_decide(self, di_batch, rng):
+        _make, _factory, _states, xp = di_batch
+        contexts = [
+            DecisionContext(
+                time=t,
+                state=xp.sample(np.random.default_rng(t), 1)[0],
+                past_disturbances=np.zeros((1, 2)),
+            )
+            for t in range(7)
+        ]
+        for policy in (
+            AlwaysRunPolicy(),
+            AlwaysSkipPolicy(),
+            PeriodicSkipPolicy(3, offset=2),
+            MarginThresholdPolicy(xp, 0.03),
+            RandomSkipPolicy(0.5, np.random.default_rng(0)),
+        ):
+            if isinstance(policy, RandomSkipPolicy):
+                # Same stream, fresh generator for the scalar reference.
+                scalar = [
+                    RandomSkipPolicy(0.5, np.random.default_rng(0)).decide(c)
+                    for c in [contexts[0]]
+                ]
+                assert policy.decide_batch(contexts[:1]).tolist() == scalar
+                continue
+            batch = policy.decide_batch(contexts)
+            assert batch.tolist() == [policy.decide(c) for c in contexts]
+            assert set(batch.tolist()) <= {RUN, SKIP}
+
+    def test_stateless_flags(self, di_batch):
+        _make, _factory, _states, xp = di_batch
+        assert AlwaysRunPolicy.stateless
+        assert AlwaysSkipPolicy.stateless
+        assert PeriodicSkipPolicy(2).stateless
+        assert MarginThresholdPolicy(xp, 0.1).stateless
+        assert not RandomSkipPolicy(0.5, np.random.default_rng(0)).stateless
+
+
+class TestLockstepControllerOnly:
+    def test_matches_serial_controller_only(self, di_batch, rng):
+        make, _factory, states, _xp = di_batch
+        system = make(BatchRunner).system
+        controller = make(BatchRunner).controller
+        realisations = [
+            rng.uniform(-0.02, 0.02, size=(HORIZON, 2)) for _ in states
+        ]
+        batch = lockstep_controller_only(system, controller, states, realisations)
+        for x0, W, stats in zip(states, realisations, batch):
+            reference = run_controller_only(system, controller, x0, W)
+            assert np.array_equal(stats.states, reference.states)
+            assert np.array_equal(stats.inputs, reference.inputs)
+            assert stats.energy == reference.energy
+            assert np.all(stats.decisions == 1)
+
+    def test_empty(self, di_batch):
+        make, _factory, _states, _xp = di_batch
+        runner = make(BatchRunner)
+        assert lockstep_controller_only(
+            runner.system, runner.controller, np.empty((0, 2)), []
+        ) == []
+
+
+class TestRunLockstepValidation:
+    def test_mismatched_monitor_policy_counts(self, di_batch):
+        make, _factory, states, _xp = di_batch
+        runner = make(BatchRunner)
+        with pytest.raises(ValueError, match="per episode"):
+            run_lockstep(
+                runner.system,
+                runner.controller,
+                [runner.monitor_factory()],
+                [AlwaysSkipPolicy()] * len(states),
+                states,
+                [np.zeros((3, 2))] * len(states),
+            )
+
+    def test_memory_length_validation(self, di_batch):
+        make, _factory, states, _xp = di_batch
+        runner = make(BatchRunner)
+        with pytest.raises(ValueError, match="memory_length"):
+            run_lockstep(
+                runner.system,
+                runner.controller,
+                [runner.monitor_factory() for _ in states],
+                [AlwaysSkipPolicy() for _ in states],
+                states,
+                [np.zeros((3, 2))] * len(states),
+                memory_length=0,
+            )
+
+    def test_rejects_heterogeneous_monitors(self, di_batch):
+        """Monitors over different set objects would silently be
+        classified against episode 0's sets — must raise instead."""
+        make, _factory, states, _xp = di_batch
+        runner = make(BatchRunner)
+        monitors = [runner.monitor_factory() for _ in states]
+        shrunk = monitors[1].strengthened_set.scale(0.5)
+        monitors[1] = SafetyMonitor(
+            strengthened_set=shrunk,
+            invariant_set=monitors[1].invariant_set,
+            safe_set=monitors[1].safe_set,
+        )
+        with pytest.raises(ValueError, match="share one set configuration"):
+            run_lockstep(
+                runner.system,
+                runner.controller,
+                monitors,
+                [AlwaysSkipPolicy() for _ in states],
+                states,
+                [np.zeros((3, 2))] * len(states),
+            )

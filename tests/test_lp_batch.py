@@ -1,0 +1,125 @@
+"""Differential tests for the stacked block-diagonal LP interface.
+
+The batch path (`solve_lp_batch` / `maximize_batch` /
+`HPolytope.support_batch`) must agree with the per-facet scalar loop it
+replaced in `pontryagin_difference`, `minkowski_sum`, `bounding_box`,
+`is_bounded` and `contains_polytope`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import HPolytope
+from repro.utils.lp import (
+    LPError,
+    maximize,
+    maximize_batch,
+    solve_lp,
+    solve_lp_batch,
+)
+
+
+@pytest.fixture
+def pentagon(rng):
+    """An irregular bounded 2-D polytope."""
+    points = rng.normal(size=(12, 2)) * np.array([2.0, 0.7]) + np.array([0.3, -0.1])
+    return HPolytope.from_vertices(points)
+
+
+class TestSolveLPBatch:
+    def test_matches_scalar_solves(self, pentagon, rng):
+        objectives = rng.normal(size=(7, 2))
+        batch = solve_lp_batch(objectives, pentagon.H, pentagon.h)
+        assert len(batch) == 7
+        for c, sol in zip(objectives, batch):
+            scalar = solve_lp(c, a_ub=pentagon.H, b_ub=pentagon.h)
+            assert sol.value == pytest.approx(scalar.value, abs=1e-8)
+            assert sol.status == 0
+
+    def test_single_objective_delegates(self, pentagon):
+        [sol] = solve_lp_batch(np.array([[1.0, 0.0]]), pentagon.H, pentagon.h)
+        scalar = solve_lp([1.0, 0.0], a_ub=pentagon.H, b_ub=pentagon.h)
+        assert sol.value == pytest.approx(scalar.value, abs=1e-10)
+
+    def test_empty_objectives(self, pentagon):
+        assert solve_lp_batch(np.empty((0, 2)), pentagon.H, pentagon.h) == []
+
+    def test_dimension_mismatch(self, pentagon):
+        with pytest.raises(ValueError, match="columns"):
+            solve_lp_batch(np.ones((3, 5)), pentagon.H, pentagon.h)
+
+    def test_infeasible_region_raises(self):
+        # x <= -1 and -x <= -1 (x >= 1) is empty.
+        a = np.array([[1.0], [-1.0]])
+        b = np.array([-1.0, -1.0])
+        with pytest.raises(LPError):
+            solve_lp_batch(np.array([[1.0], [2.0]]), a, b)
+
+    def test_unbounded_block_raises(self):
+        # Half-plane x0 <= 1: unbounded toward -x0.
+        a = np.array([[1.0, 0.0]])
+        b = np.array([1.0])
+        with pytest.raises(LPError):
+            solve_lp_batch(np.array([[1.0, 0.0], [0.0, 1.0]]), a, b)
+
+
+class TestMaximizeBatch:
+    def test_matches_scalar_maximize(self, pentagon, rng):
+        directions = rng.normal(size=(9, 2))
+        values = maximize_batch(directions, pentagon.H, pentagon.h)
+        for d, value in zip(directions, values):
+            assert value == pytest.approx(
+                maximize(d, pentagon.H, pentagon.h).value, abs=1e-8
+            )
+
+
+class TestPolytopeBatchSupport:
+    def test_support_batch_matches_support(self, pentagon, rng):
+        directions = rng.normal(size=(6, 2))
+        values = pentagon.support_batch(directions)
+        for d, value in zip(directions, values):
+            assert value == pytest.approx(pentagon.support(d), abs=1e-8)
+
+    def test_support_batch_dimension_check(self, pentagon):
+        with pytest.raises(ValueError, match="dimension"):
+            pentagon.support_batch(np.ones((2, 3)))
+
+    def test_pontryagin_difference_matches_facet_loop(self, pentagon, small_box):
+        batched = pentagon.pontryagin_difference(small_box)
+        shrink = np.array([small_box.support(a) for a in pentagon.H])
+        reference = HPolytope(pentagon.H, pentagon.h - shrink, normalize=False)
+        assert batched.equals(reference, tol=1e-7)
+
+    def test_pontryagin_roundtrip_containment(self, unit_box, small_box):
+        eroded = unit_box.pontryagin_difference(small_box)
+        assert unit_box.contains_polytope(eroded)
+        # Every eroded point plus the full box stays inside (definition).
+        assert unit_box.contains_polytope(eroded.minkowski_sum(small_box), tol=1e-6)
+
+    def test_bounding_box_matches_supports(self, pentagon):
+        lower, upper = pentagon.bounding_box()
+        for i in range(2):
+            e = np.zeros(2)
+            e[i] = 1.0
+            assert upper[i] == pytest.approx(pentagon.support(e), abs=1e-8)
+            assert lower[i] == pytest.approx(-pentagon.support(-e), abs=1e-8)
+
+    def test_is_bounded(self, pentagon):
+        assert pentagon.is_bounded()
+        half_plane = HPolytope(np.array([[1.0, 0.0]]), np.array([1.0]))
+        assert not half_plane.is_bounded()
+
+    def test_contains_polytope_with_unbounded_other(self, unit_box):
+        # The batch stack fails on the unbounded operand; the scalar
+        # fallback preserves the legacy semantics: early exit when a
+        # bounded direction already fails, LPError when the first
+        # undecided direction is unbounded.
+        wide_half_plane = HPolytope(np.array([[1.0, 0.0]]), np.array([5.0]))
+        assert not unit_box.contains_polytope(wide_half_plane)
+        with pytest.raises(LPError):
+            narrow = HPolytope(np.array([[1.0, 0.0]]), np.array([0.1]))
+            unit_box.contains_polytope(narrow)
+        half_plane = HPolytope(np.array([[1.0, 0.0]]), np.array([0.1]))
+        assert half_plane.contains_polytope(
+            HPolytope.from_box([-0.5, -0.5], [0.0, 0.5])
+        )
