@@ -1,0 +1,150 @@
+"""Every registered scenario through the lockstep engine, parity-checked.
+
+Standalone script (not a pytest-benchmark kernel) so CI can smoke the
+whole scenario zoo and a new scenario cannot merge without engine
+parity::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --quick
+    PYTHONPATH=src python benchmarks/bench_scenarios.py \
+        --episodes 128 --horizon 100
+
+For each registered scenario it runs the same seeded bang-bang batch on
+the serial reference engine and on the lockstep engine, then asserts
+
+* **identical records** — every deterministic field (energy, skip rate,
+  forced steps, max violation) matches record for record; and
+* **zero safety violations** — the strict certified monitor never saw a
+  state leave ``XI`` (it would raise), and no visited state violates the
+  safe set ``X`` (``max_violation <= 0``).
+
+Any mismatch or violation makes the script exit non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro import scenarios
+from repro.framework import BatchRunner
+from repro.skipping import AlwaysSkipPolicy
+
+
+def bench_scenario(
+    name: str, episodes: int, horizon: int, seed: int
+) -> dict:
+    """One scenario's build + serial/lockstep timing + parity row."""
+    tick = time.perf_counter()
+    case = scenarios.build(name)
+    build_seconds = time.perf_counter() - tick
+
+    rng = np.random.default_rng(seed)
+    states = case.sample_initial_states(rng, episodes)
+    factory = case.disturbance_factory(horizon)
+
+    def timed(engine: str):
+        runner = BatchRunner(
+            case.system,
+            case.controller,
+            monitor_factory=case.make_monitor,  # strict: XI exits raise
+            policy_factory=AlwaysSkipPolicy,
+            skip_input=case.skip_input,
+            engine=engine,
+        )
+        start = time.perf_counter()
+        result = runner.run_seeded(states, factory, root_seed=seed)
+        return result, time.perf_counter() - start
+
+    serial_result, serial_seconds = timed("serial")
+    lockstep_result, lockstep_seconds = timed("lockstep")
+    max_violation = max(
+        record.max_violation for record in serial_result.records
+    )
+    return {
+        "scenario": name,
+        "n": case.system.n,
+        "controller": case.spec.controller,
+        "build_seconds": build_seconds,
+        "serial_seconds": serial_seconds,
+        "lockstep_seconds": lockstep_seconds,
+        "speedup": serial_seconds / lockstep_seconds,
+        "identical": (
+            serial_result.deterministic_records()
+            == lockstep_result.deterministic_records()
+        ),
+        "max_violation": max_violation,
+        "safe": max_violation <= 0.0,
+    }
+
+
+def run_benchmark(
+    episodes: int, horizon: int, seed: int, names=None
+) -> dict:
+    """Bench every requested scenario; returns rows + the overall verdict."""
+    if names is None:
+        names = scenarios.list_scenarios()
+    rows = [bench_scenario(name, episodes, horizon, seed) for name in names]
+    return {
+        "episodes": episodes,
+        "horizon": horizon,
+        "seed": seed,
+        "rows": rows,
+        "ok": all(row["identical"] and row["safe"] for row in rows),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--episodes", type=int, default=64)
+    parser.add_argument("--horizon", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scenarios", nargs="+", default=None, metavar="NAME",
+        help="scenario subset (default: every registered scenario)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke scale: 4 episodes x 10 steps",
+    )
+    parser.add_argument("--json", default=None, help="also dump results here")
+    args = parser.parse_args(argv)
+    episodes = 4 if args.quick else args.episodes
+    horizon = 10 if args.quick else args.horizon
+
+    report = run_benchmark(episodes, horizon, args.seed, args.scenarios)
+    print(
+        f"scenario zoo benchmark: {len(report['rows'])} scenario(s), "
+        f"{episodes} episodes x {horizon} steps"
+    )
+    print(
+        f"{'scenario':<14} {'n':>2} {'ctrl':<7} {'build[s]':>9} "
+        f"{'serial[s]':>9} {'lock[s]':>8} {'speedup':>8} "
+        f"{'identical':>9} {'max viol':>9}"
+    )
+    for row in report["rows"]:
+        print(
+            f"{row['scenario']:<14} {row['n']:>2} {row['controller']:<7} "
+            f"{row['build_seconds']:>9.2f} {row['serial_seconds']:>9.2f} "
+            f"{row['lockstep_seconds']:>8.2f} {row['speedup']:>7.2f}x "
+            f"{str(row['identical']):>9} {row['max_violation']:>9.2e}"
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.json}")
+    if not report["ok"]:
+        print(
+            "ERROR: an engine's records diverged from the serial reference "
+            "or a trajectory left the safe set"
+        )
+        return 1
+    print("all scenarios: lockstep == serial record-for-record, zero violations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,9 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.rl` — numpy double-DQN substrate;
 * :mod:`repro.framework` — Algorithm 1 runtime with safety monitor;
 * :mod:`repro.traffic` — SUMO-substitute simulator and fuel meter;
-* :mod:`repro.acc` — the Sec. IV adaptive-cruise-control case study.
+* :mod:`repro.acc` — the Sec. IV adaptive-cruise-control case study;
+* :mod:`repro.scenarios` — scenario zoo: registry + builder turning any
+  constrained LTI plant into a full paper-style benchmark.
 """
 
 from repro.framework import (

@@ -1,6 +1,11 @@
 """ACC case study (paper Sec. IV): model, sets, DRL env, experiments."""
 
-from repro.acc.case_study import ACCCaseStudy, build_case_study, clear_case_study_cache
+from repro.acc.case_study import (
+    ACCCaseStudy,
+    acc_scenario_spec,
+    build_case_study,
+    clear_case_study_cache,
+)
 from repro.acc.env import ACCSkippingEnv
 from repro.acc.experiments import (
     FIG4_BIN_EDGES,
@@ -19,6 +24,7 @@ __all__ = [
     "ACCCoordinates",
     "build_acc_system",
     "ACCCaseStudy",
+    "acc_scenario_spec",
     "build_case_study",
     "clear_case_study_cache",
     "ACCSkippingEnv",

@@ -3,11 +3,18 @@
 :func:`build_case_study` wires together every piece the experiments need:
 the shifted-coordinate plant, the RMPC κ_R with horizon 10, the certified
 robust control invariant set ``XI`` (= the RMPC feasible region, Prop. 1),
-the strengthened safe set ``X'``, a monitor factory, coordinate
+the strengthened set ``X'``, a monitor factory, coordinate
 transforms and the fuel meter.
 
-Set computation takes a few seconds, so results are cached per parameter
-set within the process.
+Since the scenario zoo landed, the ACC is a *client* of the generic
+case-study builder: :func:`acc_scenario_spec` maps
+:class:`~repro.acc.model.ACCParameters` onto a
+:class:`~repro.scenarios.spec.ScenarioSpec`, the expensive set synthesis
+runs (and is cached) in :func:`repro.scenarios.builder.build_case_study`,
+and this module only adds the ACC-specific trimmings — raw-coordinate
+transforms and the fuel meter.  The same spec backs the registry's
+``"acc"`` entry, so ``repro.scenarios.build("acc")`` and
+``repro.acc.build_case_study()`` share one cache entry.
 """
 
 from __future__ import annotations
@@ -19,15 +26,51 @@ import numpy as np
 
 from repro.acc.model import ACCCoordinates, ACCParameters, build_acc_system
 from repro.controllers.rmpc import RobustMPC
-from repro.controllers.feasible import rmpc_invariant_set
 from repro.framework.accounting import RunStats
 from repro.framework.monitor import SafetyMonitor
 from repro.geometry import HPolytope
-from repro.invariance.reach import strengthened_safe_set
+from repro.scenarios.builder import (
+    build_case_study as build_scenario_case_study,
+)
+from repro.scenarios.builder import (
+    clear_case_study_cache as _clear_scenario_cache,
+)
+from repro.scenarios.spec import ScenarioSpec
 from repro.systems.lti import DiscreteLTISystem
 from repro.traffic.fuel import HBEFA3Fuel
 
-__all__ = ["ACCCaseStudy", "build_case_study", "clear_case_study_cache"]
+__all__ = [
+    "ACCCaseStudy",
+    "acc_scenario_spec",
+    "build_case_study",
+    "clear_case_study_cache",
+]
+
+
+def acc_scenario_spec(params: Optional[ACCParameters] = None) -> ScenarioSpec:
+    """The ACC case study as a generic :class:`ScenarioSpec`.
+
+    This is the single parameter source for both the registry's ``"acc"``
+    scenario and :func:`build_case_study`; the numbers are the paper's
+    (Sec. IV), shifted to the cruising equilibrium.
+    """
+    p = params if params is not None else ACCParameters()
+    system = build_acc_system(p)
+    return ScenarioSpec(
+        name="acc",
+        description="adaptive cruise control (paper Sec. IV), 2 states, RMPC",
+        source="Huang et al., DAC 2020, Sec. IV",
+        A=p.A,
+        B=p.B,
+        safe_set=system.safe_set,
+        input_set=system.input_set,
+        disturbance_set=system.disturbance_set,
+        skip_input=p.skip_input_shifted,
+        controller="rmpc",
+        horizon=p.horizon,
+        state_weight=p.state_weight,
+        input_weight=p.input_weight,
+    )
 
 
 @dataclass
@@ -118,6 +161,11 @@ def build_case_study(
 ) -> ACCCaseStudy:
     """Build (or fetch from cache) the assembled ACC case study.
 
+    The heavy set synthesis is delegated to the generic scenario builder
+    (one shared cache entry with the registry's ``"acc"`` scenario); this
+    wrapper keeps its own per-:class:`ACCParameters` cache so repeated
+    calls return the identical :class:`ACCCaseStudy` object.
+
     Args:
         params: Full parameter set; defaults to the paper's numbers.
         vf_range: Shortcut overriding only the front-velocity range (the
@@ -138,24 +186,14 @@ def build_case_study(
         )
     if use_cache and params in _CACHE:
         return _CACHE[params]
-    system = build_acc_system(params)
-    mpc = RobustMPC(
-        system,
-        horizon=params.horizon,
-        state_weight=params.state_weight,
-        input_weight=params.input_weight,
-    )
-    invariant = rmpc_invariant_set(mpc, verify=True)
-    strengthened = strengthened_safe_set(
-        system, invariant, skip_input=params.skip_input_shifted
-    )
+    base = build_scenario_case_study(acc_scenario_spec(params), use_cache=use_cache)
     case = ACCCaseStudy(
         params=params,
-        system=system,
+        system=base.system,
         coords=ACCCoordinates(params),
-        mpc=mpc,
-        invariant_set=invariant,
-        strengthened_set=strengthened,
+        mpc=base.controller,
+        invariant_set=base.invariant_set,
+        strengthened_set=base.strengthened_set,
         fuel_meter=HBEFA3Fuel(),
     )
     if use_cache:
@@ -164,5 +202,10 @@ def build_case_study(
 
 
 def clear_case_study_cache() -> None:
-    """Drop all cached case studies (tests use this for isolation)."""
+    """Drop all cached case studies (tests use this for isolation).
+
+    Clears both the ACC wrapper cache and the generic scenario builder's
+    cache that holds the underlying synthesis results.
+    """
     _CACHE.clear()
+    _clear_scenario_cache()

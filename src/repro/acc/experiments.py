@@ -20,15 +20,13 @@ import numpy as np
 
 from repro.acc.case_study import ACCCaseStudy, build_case_study
 from repro.acc.env import ACCSkippingEnv
-from repro.framework.intermittent import IntermittentController, run_controller_only
-from repro.framework.lockstep import lockstep_controller_only, run_lockstep
+from repro.framework.evaluation import paired_evaluation
 from repro.rl.dqn import DQNConfig, DoubleDQNAgent
 from repro.rl.schedule import LinearSchedule
 from repro.rl.training import TrainingHistory, train_dqn
 from repro.skipping.base import AlwaysSkipPolicy, SkippingPolicy
 from repro.skipping.drl import DRLSkippingPolicy
 from repro.traffic.patterns import experiment_pattern
-from repro.utils.parallel import fork_map
 
 __all__ = [
     "experiment_vf_range",
@@ -344,81 +342,34 @@ def evaluate_approaches(
             1e3 * stats.mean_monitor_time,
         )
 
-    def evaluate_case(i: int) -> dict:
-        x0 = initial_states[i]
-        disturbances = realisations[i]
-        metrics = {}
-        for name, policy in approaches.items():
-            if policy is None:
-                stats = run_controller_only(case.system, case.mpc, x0, disturbances)
-            else:
-                runner = IntermittentController(
-                    system=case.system,
-                    controller=case.mpc,
-                    monitor=case.make_monitor(strict=True),
-                    policy=policy,
-                    skip_input=case.skip_input,
-                    memory_length=memory_length,
-                )
-                stats = runner.run(x0, disturbances)
-            metrics[name] = metrics_of(stats)
-        return metrics
-
-    if engine == "lockstep":
-        # Approach-major: every approach advances all cases as one state
-        # matrix.  Policies/controller are stateless, realisations are
-        # pre-drawn, so the per-case numbers match the case-major loop.
-        per_case = [dict() for _ in range(num_cases)]
-        for name, policy in approaches.items():
-            if policy is not None and not getattr(policy, "stateless", False):
-                raise ValueError(
-                    f"approach {name!r}: the lockstep engine shares one "
-                    "policy instance across interleaved cases, which is "
-                    "only serial-equivalent for stateless policies "
-                    "(for DRL, evaluate with epsilon=0)"
-                )
-            if policy is None:
-                stats_list = lockstep_controller_only(
-                    case.system, case.mpc, initial_states, realisations
-                )
-            else:
-                stats_list = run_lockstep(
-                    case.system,
-                    case.mpc,
-                    [case.make_monitor(strict=True) for _ in range(num_cases)],
-                    [policy] * num_cases,
-                    initial_states,
-                    realisations,
-                    skip_input=case.skip_input,
-                    memory_length=memory_length,
-                )
-            for i, stats in enumerate(stats_list):
-                per_case[i][name] = metrics_of(stats)
-    else:
-        per_case = fork_map(evaluate_case, range(num_cases), jobs=jobs)
-
-    collected = {
-        name: {"fuel": [], "energy": [], "skip": [], "forced": [],
-               "ctrl_ms": [], "mon_ms": []}
-        for name in approaches
-    }
-    for metrics in per_case:
-        for name, values in metrics.items():
-            bucket = collected[name]
-            for key, value in zip(
-                ("fuel", "energy", "skip", "forced", "ctrl_ms", "mon_ms"), values
-            ):
-                bucket[key].append(value)
+    # The engine dispatch (serial case-major loop, forked fan-out,
+    # approach-major lockstep) lives in the scenario-agnostic
+    # paired_evaluation; this harness only supplies the ACC metrics.
+    collected = paired_evaluation(
+        case.system,
+        case.mpc,
+        lambda: case.make_monitor(strict=True),
+        approaches,
+        initial_states,
+        realisations,
+        metrics_of,
+        skip_input=case.skip_input,
+        memory_length=memory_length,
+        engine=engine if engine is not None else (
+            "parallel" if jobs != 1 else "serial"
+        ),
+        jobs=jobs,
+    )
 
     def finalize(name: str) -> ApproachStats:
-        bucket = collected[name]
+        columns = list(zip(*collected[name]))
         return ApproachStats(
-            fuel=np.array(bucket["fuel"]),
-            energy=np.array(bucket["energy"]),
-            skip_rate=np.array(bucket["skip"]),
-            forced_steps=np.array(bucket["forced"]),
-            mean_controller_ms=float(np.mean(bucket["ctrl_ms"])),
-            mean_monitor_ms=float(np.mean(bucket["mon_ms"])),
+            fuel=np.array(columns[0]),
+            energy=np.array(columns[1]),
+            skip_rate=np.array(columns[2]),
+            forced_steps=np.array(columns[3]),
+            mean_controller_ms=float(np.mean(columns[4])),
+            mean_monitor_ms=float(np.mean(columns[5])),
         )
 
     return ComparisonResult(

@@ -7,6 +7,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli experiment ex5       # one Table-I/Fig-5/6 scenario
     python -m repro.cli timing               # computation-saving numbers
     python -m repro.cli batch --episodes 64 --jobs 4 --seed 7 --out b.json
+    python -m repro.cli scenarios            # list the registered scenario zoo
+    python -m repro.cli scenarios --detail   # + synthesised set sizes/timing
+    python -m repro.cli batch --scenario pendulum --engine lockstep
+    python -m repro.cli sweep --cases 8      # Table-I-style cross-scenario sweep
 
 Each subcommand prints the same tables the benchmark suite emits, at a
 scale chosen via flags, so results can be regenerated without pytest.
@@ -112,15 +116,109 @@ def _resolve_engine(args) -> str:
     return "parallel" if args.jobs != 1 else "serial"
 
 
+def _cmd_scenarios(args) -> int:
+    import time
+
+    from repro import scenarios
+
+    names = scenarios.list_scenarios()
+    print(f"{len(names)} registered scenario(s):\n")
+    if not args.detail:
+        print(f"{'name':<14} {'n':>2} {'m':>2} {'controller':<10} description")
+        for name in names:
+            spec = scenarios.get(name)
+            print(
+                f"{name:<14} {spec.n:>2} {spec.m:>2} {spec.controller:<10} "
+                f"{spec.description}"
+            )
+        print("\n(--detail synthesises each scenario's certified sets)")
+        return 0
+    print(
+        f"{'name':<14} {'n':>2} {'controller':<10} {'build[s]':>9} "
+        f"{'XI rows':>7} {'X` rows':>7} {'X` radius':>9}"
+    )
+    for name in names:
+        tick = time.perf_counter()
+        case = scenarios.build(name)
+        elapsed = time.perf_counter() - tick
+        _, radius = case.strengthened_set.chebyshev_center()
+        print(
+            f"{name:<14} {case.system.n:>2} {case.spec.controller:<10} "
+            f"{elapsed:>9.2f} {case.invariant_set.num_constraints:>7} "
+            f"{case.strengthened_set.num_constraints:>7} {radius:>9.4f}"
+        )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro import scenarios
+
+    names = args.scenarios or scenarios.list_scenarios()
+    print(
+        f"cross-scenario sweep: {args.cases} cases x {args.horizon} steps, "
+        f"engine={args.engine}, seed={args.seed}\n"
+    )
+    print(
+        f"{'scenario':<14} {'approach':<10} {'saving':>8} {'skip%':>6} "
+        f"{'forced':>7} {'max viol':>9} {'safe':>5}"
+    )
+    all_safe = True
+    for result in scenarios.sweep_scenarios(
+        names,
+        num_cases=args.cases,
+        horizon=args.horizon,
+        seed=args.seed,
+        engine=args.engine,
+        jobs=args.jobs,
+    ):
+        all_safe &= result.always_safe
+        for approach in result.approaches:
+            stats = result.stats(approach)
+            approach_safe = float(stats.max_violation.max()) <= 0.0
+            print(
+                f"{result.scenario:<14} {approach:<10} "
+                f"{100 * result.energy_saving(approach).mean():7.1f}% "
+                f"{100 * stats.skip_rate.mean():5.0f}% "
+                f"{stats.forced_steps.mean():7.1f} "
+                f"{stats.max_violation.max():9.2e} "
+                f"{str(approach_safe):>5}"
+            )
+    if not all_safe:
+        print("\nERROR: a trajectory left the safe set under the monitor")
+        return 1
+    print("\nall scenarios safe under the certified monitor")
+    return 0
+
+
 def _cmd_batch(args) -> int:
     import time
 
-    from repro.acc import acc_disturbance_factory, build_case_study
     from repro.framework import BatchRunner, ParallelBatchRunner
     from repro.skipping import AlwaysSkipPolicy
 
     engine = _resolve_engine(args)
-    case = build_case_study()
+    if args.scenario == "acc":
+        from repro.acc import acc_disturbance_factory, build_case_study
+
+        case = build_case_study()
+        controller = case.mpc
+        factory = acc_disturbance_factory(
+            case, args.experiment or "overall", args.horizon
+        )
+    else:
+        if args.experiment is not None:
+            print(
+                f"error: --experiment selects an ACC front-vehicle pattern "
+                f"and does not apply to scenario {args.scenario!r} "
+                "(non-ACC scenarios draw i.i.d. disturbances from their W)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro import scenarios
+
+        case = scenarios.build(args.scenario)
+        controller = case.controller
+        factory = case.disturbance_factory(args.horizon)
     common = dict(
         monitor_factory=case.make_monitor,
         policy_factory=AlwaysSkipPolicy,
@@ -128,19 +226,19 @@ def _cmd_batch(args) -> int:
     )
     if engine == "parallel":
         runner = ParallelBatchRunner(
-            case.system, case.mpc, jobs=args.jobs, **common
+            case.system, controller, jobs=args.jobs, **common
         )
     else:
-        runner = BatchRunner(case.system, case.mpc, engine=engine, **common)
+        runner = BatchRunner(case.system, controller, engine=engine, **common)
     rng = np.random.default_rng(args.seed)
     states = case.sample_initial_states(rng, args.episodes)
-    factory = acc_disturbance_factory(case, args.experiment, args.horizon)
     tick = time.perf_counter()
     result = runner.run_seeded(states, factory, root_seed=args.seed)
     elapsed = time.perf_counter() - tick
     print(
         f"{len(result)} episodes in {elapsed:.2f}s "
-        f"({len(result) / elapsed:.2f} ep/s, engine={engine}, jobs={args.jobs})"
+        f"({len(result) / elapsed:.2f} ep/s, scenario={args.scenario}, "
+        f"engine={engine}, jobs={args.jobs})"
     )
     if result.records:
         print(
@@ -247,7 +345,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bat.add_argument("--episodes", type=int, default=16)
     p_bat.add_argument("--horizon", type=int, default=100)
-    p_bat.add_argument("--experiment", default="overall")
+    p_bat.add_argument(
+        "--experiment", default=None,
+        help="ACC front-vehicle pattern id (overall, ex1..ex10); only "
+             "valid with --scenario acc (default: overall)",
+    )
+    p_bat.add_argument(
+        "--scenario", default="acc",
+        help="registered scenario to run (see `repro scenarios`); 'acc' "
+             "keeps the paper's front-vehicle disturbance patterns, other "
+             "scenarios draw i.i.d. disturbances from their W",
+    )
     p_bat.add_argument(
         "--jobs", type=_job_count, default=1,
         help="worker processes (0 = one per CPU, 1 = serial)",
@@ -265,6 +373,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_tim = sub.add_parser("timing", help="computation-saving numbers")
     p_tim.set_defaults(func=_cmd_timing)
+
+    p_scn = sub.add_parser(
+        "scenarios", help="list the registered scenario zoo"
+    )
+    p_scn.add_argument(
+        "--detail", action="store_true",
+        help="synthesise each scenario and report set sizes + build time",
+    )
+    p_scn.set_defaults(func=_cmd_scenarios)
+
+    p_swp = sub.add_parser(
+        "sweep", help="Table-I-style paired sweep across scenarios"
+    )
+    p_swp.add_argument(
+        "--scenarios", nargs="+", default=None, metavar="NAME",
+        help="scenario subset (default: every registered scenario)",
+    )
+    p_swp.add_argument("--cases", type=int, default=8)
+    p_swp.add_argument("--horizon", type=int, default=50)
+    p_swp.add_argument("--seed", type=int, default=1)
+    p_swp.add_argument(
+        "--jobs", type=_job_count, default=1,
+        help="worker processes for the parallel engine (0 = one per CPU)",
+    )
+    p_swp.add_argument(
+        "--engine", choices=("serial", "parallel", "lockstep"),
+        default="serial",
+        help="execution engine for every scenario's paired batch",
+    )
+    p_swp.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -1,0 +1,149 @@
+"""Engine-agnostic paired evaluation of control approaches.
+
+The paper's Sec.-IV comparisons all share one shape: run several control
+approaches — the κ-every-step baseline plus monitored skipping policies —
+over the *identical* set of (initial state, disturbance realisation)
+pairs, and reduce every episode to a tuple of metrics.  This module owns
+that shape, scenario-agnostically; the ACC experiment harness
+(:func:`repro.acc.experiments.evaluate_approaches`) and the cross-scenario
+sweep (:mod:`repro.scenarios.evaluate`) are both thin clients.
+
+Engine semantics match the batch runners: ``"serial"`` is the reference
+case-major loop, ``"parallel"`` fans cases out over forked workers
+(:func:`repro.utils.parallel.fork_map`), ``"lockstep"`` advances all
+cases of one approach as a single state matrix.  Because realisations are
+materialised by the caller up front and all supplied policies must be
+effectively stateless, every engine yields the same deterministic metric
+values — only wall-clock-derived entries vary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.controllers.base import Controller
+from repro.framework.accounting import RunStats
+from repro.framework.intermittent import IntermittentController, run_controller_only
+from repro.framework.lockstep import lockstep_controller_only, run_lockstep
+from repro.framework.monitor import SafetyMonitor
+from repro.skipping.base import SkippingPolicy
+from repro.systems.lti import DiscreteLTISystem
+from repro.utils.parallel import fork_map
+
+__all__ = ["paired_evaluation"]
+
+_ENGINES = ("serial", "parallel", "lockstep")
+
+
+def paired_evaluation(
+    system: DiscreteLTISystem,
+    controller: Controller,
+    monitor_factory: Callable[[], SafetyMonitor],
+    approaches: Mapping[str, Optional[SkippingPolicy]],
+    initial_states,
+    realisations: Sequence,
+    metrics_of: Callable[[RunStats], tuple],
+    skip_input=None,
+    memory_length: int = 1,
+    engine: str = "serial",
+    jobs: int = 1,
+) -> Dict[str, List[tuple]]:
+    """Run every approach over every case; collect per-case metric tuples.
+
+    Args:
+        system: The plant (shared across approaches and cases).
+        controller: Safe controller κ (shared; must reset cleanly).
+        monitor_factory: Fresh :class:`SafetyMonitor` per episode.
+        approaches: Name → skipping policy.  ``None`` marks the
+            κ-every-step baseline (no monitor, no skipping).  Policy
+            instances are shared across that approach's cases, so they
+            must be effectively stateless — which every engine requires
+            for paired results to be meaningful, and lockstep enforces.
+        initial_states: ``(N, n)`` start states, one per case.
+        realisations: ``N`` pre-drawn disturbance arrays ``(T_i, n)``.
+        metrics_of: Reduces one episode's :class:`RunStats` to a tuple;
+            entry order is the caller's contract.
+        skip_input: Constant input applied when skipping (default zero).
+        memory_length: The paper's ``r`` (disturbance-history window).
+        engine: ``"serial"``, ``"parallel"`` or ``"lockstep"``.
+        jobs: Worker processes for the parallel engine (``None``/0 = one
+            per CPU); ignored otherwise.
+
+    Returns:
+        Approach name → list of ``N`` metric tuples in case order.
+
+    Raises:
+        ValueError: On unknown engines, empty case sets, or — under
+            lockstep — approaches whose policy is not flagged stateless.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"engine must be one of {_ENGINES}, got {engine!r}"
+        )
+    initial_states = np.atleast_2d(np.asarray(initial_states, dtype=float))
+    num_cases = initial_states.shape[0]
+    if num_cases < 1:
+        raise ValueError("need at least one evaluation case")
+    if len(realisations) != num_cases:
+        raise ValueError(
+            f"{num_cases} initial states but {len(realisations)} realisations"
+        )
+
+    if engine == "lockstep":
+        collected: Dict[str, List[tuple]] = {}
+        for name, policy in approaches.items():
+            if policy is not None and not getattr(policy, "stateless", False):
+                raise ValueError(
+                    f"approach {name!r}: the lockstep engine shares one "
+                    "policy instance across interleaved cases, which is "
+                    "only serial-equivalent for stateless policies "
+                    "(for DRL, evaluate with epsilon=0)"
+                )
+            if policy is None:
+                stats_list = lockstep_controller_only(
+                    system, controller, initial_states, realisations
+                )
+            else:
+                stats_list = run_lockstep(
+                    system,
+                    controller,
+                    [monitor_factory() for _ in range(num_cases)],
+                    [policy] * num_cases,
+                    initial_states,
+                    realisations,
+                    skip_input=skip_input,
+                    memory_length=memory_length,
+                )
+            collected[name] = [metrics_of(stats) for stats in stats_list]
+        return collected
+
+    def evaluate_case(i: int) -> dict:
+        x0 = initial_states[i]
+        disturbances = realisations[i]
+        metrics = {}
+        for name, policy in approaches.items():
+            if policy is None:
+                stats = run_controller_only(system, controller, x0, disturbances)
+            else:
+                runner = IntermittentController(
+                    system=system,
+                    controller=controller,
+                    monitor=monitor_factory(),
+                    policy=policy,
+                    skip_input=skip_input,
+                    memory_length=memory_length,
+                )
+                stats = runner.run(x0, disturbances)
+            metrics[name] = metrics_of(stats)
+        return metrics
+
+    per_case = fork_map(
+        evaluate_case,
+        range(num_cases),
+        jobs=1 if engine == "serial" else jobs,
+    )
+    return {
+        name: [metrics[name] for metrics in per_case] for name in approaches
+    }

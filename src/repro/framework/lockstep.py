@@ -32,6 +32,11 @@ Caveats mirroring the serial semantics they replace:
   stateful/stochastic policies keep their per-episode instances and are
   queried row by row in episode order, so per-episode generator streams
   line up with the serial engine;
+* policies additionally flagged ``wants_context = False`` (AlwaysRun,
+  AlwaysSkip, Periodic) take a context-free fast path: no per-row
+  :class:`DecisionContext` is materialised and the disturbance-history
+  window is not maintained — the decisions are identical by the
+  ``decide_batch_at`` contract;
 * a strict monitor aborts the whole batch with
   :class:`SafetyViolationError` as soon as any episode leaves ``XI``.
   The serial loop discovers violations episode-major and lockstep
@@ -185,6 +190,13 @@ def run_lockstep(
     shared_policy = all(getattr(p, "stateless", False) for p in policies) and all(
         _interchangeable(p, policies[0]) for p in policies[1:]
     )
+    # Context-free fast path: a shared policy that declares it never reads
+    # the context (beyond the step index) lets every step skip the per-row
+    # DecisionContext materialisation — the largest remaining per-step
+    # Python cost at large N.
+    context_free = shared_policy and not getattr(
+        policies[0], "wants_context", True
+    )
     for policy in policies:
         policy.reset()
     controller.reset()
@@ -202,9 +214,12 @@ def run_lockstep(
     for t in range(t_max):
         idx = np.flatnonzero(horizons > t)
         w_t = W[idx, t]
-        if r > 1:
-            history[idx, :-1] = history[idx, 1:]
-        history[idx, -1] = w_t
+        if not context_free:
+            # The history window only ever feeds DecisionContexts, so the
+            # context-free fast path skips maintaining it too.
+            if r > 1:
+                history[idx, :-1] = history[idx, 1:]
+            history[idx, -1] = w_t
 
         tick = time.perf_counter()
         in_strengthened = sset.contains_batch(X[idx], tol)
@@ -220,26 +235,29 @@ def run_lockstep(
         free_idx = idx[in_strengthened]
         forced_idx = idx[~in_strengthened]
 
-        contexts = [
-            DecisionContext(
-                time=t,
-                state=X[gi].copy(),
-                past_disturbances=history[gi].copy(),
-                future_disturbances=(
-                    W[gi, t : horizons[gi]].copy() if reveal_future else None
-                ),
-            )
-            for gi in free_idx
-        ]
-        if not contexts:
+        if not len(free_idx):
             choices = np.zeros(0, dtype=int)
-        elif shared_policy:
-            choices = np.asarray(policies[0].decide_batch(contexts))
+        elif context_free:
+            choices = np.asarray(policies[0].decide_batch_at(t, len(free_idx)))
         else:
-            choices = np.array(
-                [policies[gi].decide(ctx) for gi, ctx in zip(free_idx, contexts)],
-                dtype=int,
-            )
+            contexts = [
+                DecisionContext(
+                    time=t,
+                    state=X[gi].copy(),
+                    past_disturbances=history[gi].copy(),
+                    future_disturbances=(
+                        W[gi, t : horizons[gi]].copy() if reveal_future else None
+                    ),
+                )
+                for gi in free_idx
+            ]
+            if shared_policy:
+                choices = np.asarray(policies[0].decide_batch(contexts))
+            else:
+                choices = np.array(
+                    [policies[gi].decide(ctx) for gi, ctx in zip(free_idx, contexts)],
+                    dtype=int,
+                )
         if len(idx):
             monitor_seconds[idx, t] = (time.perf_counter() - tick) / len(idx)
 

@@ -49,7 +49,7 @@ class HPolytope:
         dim: Ambient dimension ``n``.
     """
 
-    __slots__ = ("H", "h", "_vertices_cache", "_cheb_cache")
+    __slots__ = ("H", "h", "_vertices_cache", "_cheb_cache", "_bbox_cache")
 
     def __init__(self, H, h, normalize: bool = True):
         H = as_matrix(H, "H")
@@ -64,6 +64,7 @@ class HPolytope:
         self.h = h
         self._vertices_cache = None
         self._cheb_cache = None
+        self._bbox_cache = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -470,12 +471,18 @@ class HPolytope:
     def bounding_box(self) -> tuple:
         """Tight axis-aligned bounding box ``(lower, upper)``.
 
+        Cached after the first call (polytopes are immutable); callers
+        receive copies, so mutating the result cannot poison the cache.
+
         Raises:
             repro.utils.lp.LPError: If unbounded or empty.
         """
-        eye = np.eye(self.dim)
-        values = self.support_batch(np.vstack([eye, -eye]))
-        return -values[self.dim :], values[: self.dim]
+        if self._bbox_cache is None:
+            eye = np.eye(self.dim)
+            values = self.support_batch(np.vstack([eye, -eye]))
+            self._bbox_cache = (-values[self.dim :], values[: self.dim])
+        lower, upper = self._bbox_cache
+        return lower.copy(), upper.copy()
 
     # ------------------------------------------------------------------
     # Vertices and sampling
@@ -542,6 +549,12 @@ class HPolytope:
             Array of shape ``(count, n)``.
         """
         lower, upper = self.bounding_box()
+        # Zero-width axes (flat sets, e.g. single-channel disturbance
+        # boxes) can come back with upper below lower by LP tolerance
+        # jitter — including upper = -0.0 vs lower = +0.0, whose
+        # difference is -0.0 and trips rng.uniform's sign check.
+        # Collapse such axes onto lower exactly.
+        upper = np.where(upper > lower, upper, lower)
         out = np.empty((count, self.dim))
         filled = 0
         tries = 0
@@ -617,7 +630,9 @@ def _normalize_rows(H: np.ndarray, h: np.ndarray) -> tuple:
     if np.any(zero):
         bad = zero & (h < -1e-12)
         if np.any(bad):
-            raise ValueError("constraint 0.x <= h with h < 0 (empty by construction)")
+            raise EmptySetError(
+                "constraint 0.x <= h with h < 0 (empty by construction)"
+            )
         H = H[~zero]
         h = h[~zero]
         norms = norms[~zero]

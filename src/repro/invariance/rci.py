@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry import HPolytope
+from repro.geometry.hpolytope import EmptySetError
 from repro.invariance.pre import pre_autonomous, pre_controllable
 from repro.utils.validation import as_matrix
 
@@ -65,8 +66,15 @@ def maximal_rpi(
     M = as_matrix(M, "M")
     current = constraint
     for iteration in range(1, max_iterations + 1):
-        pre = pre_autonomous(M, current, disturbance)
-        nxt = current.intersect(pre).remove_redundancies()
+        try:
+            pre = pre_autonomous(M, current, disturbance)
+            nxt = current.intersect(pre).remove_redundancies()
+        except EmptySetError:
+            # A predecessor so restrictive it is empty by construction
+            # (e.g. the disturbance support exceeds the target's extent).
+            raise ValueError(
+                "no robust positively invariant subset exists"
+            ) from None
         if nxt.is_empty():
             raise ValueError("no robust positively invariant subset exists")
         if current.contains_polytope(nxt, tol) and nxt.contains_polytope(current, tol):
@@ -98,8 +106,13 @@ def maximal_rci(
     B = as_matrix(B, "B")
     current = constraint
     for iteration in range(1, max_iterations + 1):
-        pre = pre_controllable(A, B, input_set, current, disturbance)
-        nxt = current.intersect(pre).remove_redundancies()
+        try:
+            pre = pre_controllable(A, B, input_set, current, disturbance)
+            nxt = current.intersect(pre).remove_redundancies()
+        except EmptySetError:
+            raise ValueError(
+                "no robust control invariant subset exists"
+            ) from None
         if nxt.is_empty():
             raise ValueError("no robust control invariant subset exists")
         if current.contains_polytope(nxt, tol) and nxt.contains_polytope(current, tol):

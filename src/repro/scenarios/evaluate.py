@@ -1,0 +1,246 @@
+"""Cross-scenario Table-I-style sweeps.
+
+:func:`evaluate_scenario` runs the paired approach comparison — the
+κ-every-step baseline against monitored skipping policies — on *any*
+built case study, reporting the scenario-agnostic metrics (Problem-1
+energy, skip rate, monitor-forced steps, worst safe-set violation,
+wall-clock).  :func:`sweep_scenarios` maps it over the registry, giving
+every future feature an N-scenario workload instead of an ACC-only one.
+
+The ACC-specific comparison (fuel meter, DRL agent, front-vehicle
+patterns) stays in :func:`repro.acc.experiments.evaluate_approaches`;
+both are clients of :func:`repro.framework.evaluation.paired_evaluation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.framework.accounting import RunStats
+from repro.framework.evaluation import paired_evaluation
+from repro.scenarios.builder import CaseStudy
+from repro.scenarios import registry
+from repro.skipping.base import AlwaysSkipPolicy, SkippingPolicy
+from repro.skipping.heuristics import PeriodicSkipPolicy
+
+__all__ = [
+    "ScenarioApproachStats",
+    "ScenarioComparison",
+    "default_policies",
+    "evaluate_scenario",
+    "sweep_scenarios",
+]
+
+
+@dataclass
+class ScenarioApproachStats:
+    """Per-case metrics of one approach on one scenario.
+
+    Attributes:
+        energy: Σ‖u‖₁ per case (Problem-1 objective).
+        skip_rate: Fraction of skipped steps per case.
+        forced_steps: Monitor-forced steps per case.
+        max_violation: Worst safe-set violation per case (≤ 0 ⇔ the
+            whole trajectory stayed inside ``X``).
+        mean_controller_ms: Mean κ wall-clock per invocation [ms].
+        mean_monitor_ms: Mean monitor+Ω wall-clock per step [ms].
+    """
+
+    energy: np.ndarray
+    skip_rate: np.ndarray
+    forced_steps: np.ndarray
+    max_violation: np.ndarray
+    mean_controller_ms: float
+    mean_monitor_ms: float
+
+
+@dataclass
+class ScenarioComparison:
+    """Paired comparison of approaches on one scenario.
+
+    All per-case arrays are aligned: case ``i`` saw the same initial
+    state and disturbance realisation under every approach.
+    """
+
+    scenario: str
+    baseline: ScenarioApproachStats
+    approaches: Dict[str, ScenarioApproachStats]
+
+    def stats(self, approach: str) -> ScenarioApproachStats:
+        """Stats by name (``"baseline"`` or a policy name)."""
+        if approach == "baseline":
+            return self.baseline
+        try:
+            return self.approaches[approach]
+        except KeyError:
+            known = ", ".join(sorted(self.approaches)) or "<none>"
+            raise ValueError(
+                f"unknown approach {approach!r}; evaluated: baseline, {known}"
+            ) from None
+
+    def energy_saving(self, approach: str) -> np.ndarray:
+        """Per-case fractional Σ‖u‖₁ saving vs the baseline (0/0 → 0)."""
+        stats = self.stats(approach)
+        base = self.baseline.energy
+        out = np.zeros_like(base)
+        nonzero = base > 1e-12
+        out[nonzero] = (base[nonzero] - stats.energy[nonzero]) / base[nonzero]
+        return out
+
+    @property
+    def always_safe(self) -> bool:
+        """True iff no approach ever left the safe set in any case."""
+        all_stats = [self.baseline, *self.approaches.values()]
+        return all(float(s.max_violation.max()) <= 0.0 for s in all_stats)
+
+
+def default_policies(case: CaseStudy) -> Dict[str, SkippingPolicy]:
+    """The standard heuristic approach set for Table-I-style sweeps.
+
+    Bang-bang (Eq. 7: skip whenever the monitor allows) plus a periodic
+    (1, 2) pattern — both stateless, so every engine can run them.
+    """
+    return {
+        "bang_bang": AlwaysSkipPolicy(),
+        "periodic2": PeriodicSkipPolicy(2),
+    }
+
+
+def _metrics_of(case: CaseStudy) -> Callable[[RunStats], tuple]:
+    safe_set = case.system.safe_set
+
+    def metrics(stats: RunStats) -> tuple:
+        return (
+            case.energy_of_run(stats),
+            stats.skip_rate,
+            stats.forced_steps,
+            stats.max_violation(safe_set),
+            1e3 * stats.mean_controller_time,
+            1e3 * stats.mean_monitor_time,
+        )
+
+    return metrics
+
+
+def _finalize(rows: List[tuple]) -> ScenarioApproachStats:
+    columns = list(zip(*rows))
+    return ScenarioApproachStats(
+        energy=np.array(columns[0]),
+        skip_rate=np.array(columns[1]),
+        forced_steps=np.array(columns[2]),
+        max_violation=np.array(columns[3]),
+        mean_controller_ms=float(np.mean(columns[4])),
+        mean_monitor_ms=float(np.mean(columns[5])),
+    )
+
+
+def evaluate_scenario(
+    case: CaseStudy,
+    policies: Optional[Dict[str, SkippingPolicy]] = None,
+    num_cases: int = 16,
+    horizon: int = 50,
+    seed: int = 1,
+    memory_length: int = 1,
+    engine: str = "serial",
+    jobs: int = 1,
+) -> ScenarioComparison:
+    """Paired baseline-vs-policies comparison on one case study.
+
+    Each case draws an initial state in ``X'`` and one i.i.d. disturbance
+    realisation from the scenario's disturbance factory; every approach
+    sees the identical realisation.
+
+    Args:
+        case: A built scenario case study.
+        policies: Name → stateless policy; defaults to
+            :func:`default_policies`.
+        num_cases: Evaluation cases per approach.
+        horizon: Steps per case.
+        seed: Root seed for initial states and realisations.
+        memory_length: Disturbance-history window ``r``.
+        engine: ``"serial"``, ``"parallel"`` or ``"lockstep"``.
+        jobs: Workers for the parallel engine.
+
+    Returns:
+        A :class:`ScenarioComparison` for this scenario.
+    """
+    if num_cases < 1:
+        raise ValueError("num_cases must be >= 1")
+    if policies is None:
+        policies = default_policies(case)
+    if "baseline" in policies:
+        raise ValueError("'baseline' names the κ-every-step reference leg")
+    rng = np.random.default_rng(seed)
+    initial_states = case.sample_initial_states(rng, num_cases)
+    factory = case.disturbance_factory(horizon)
+    realisations = [
+        factory(i, np.random.default_rng(child))
+        for i, child in enumerate(np.random.SeedSequence(seed).spawn(num_cases))
+    ]
+
+    approaches: Dict[str, Optional[SkippingPolicy]] = {"baseline": None}
+    approaches.update(policies)
+    collected = paired_evaluation(
+        case.system,
+        case.controller,
+        lambda: case.make_monitor(strict=True),
+        approaches,
+        initial_states,
+        realisations,
+        _metrics_of(case),
+        skip_input=case.skip_input,
+        memory_length=memory_length,
+        engine=engine,
+        jobs=jobs,
+    )
+    return ScenarioComparison(
+        scenario=case.name,
+        baseline=_finalize(collected["baseline"]),
+        approaches={
+            name: _finalize(collected[name]) for name in policies
+        },
+    )
+
+
+def sweep_scenarios(
+    names: Optional[Sequence[str]] = None,
+    num_cases: int = 8,
+    horizon: int = 50,
+    seed: int = 1,
+    engine: str = "serial",
+    jobs: int = 1,
+    policies_factory: Optional[Callable[[CaseStudy], Dict[str, SkippingPolicy]]] = None,
+) -> List[ScenarioComparison]:
+    """Run :func:`evaluate_scenario` over (a subset of) the registry.
+
+    Args:
+        names: Scenario names; None sweeps every registered scenario.
+        policies_factory: ``case -> policies`` override (defaults to
+            :func:`default_policies` per scenario).
+        Remaining arguments: forwarded to :func:`evaluate_scenario`.
+
+    Returns:
+        One :class:`ScenarioComparison` per scenario, in input order.
+    """
+    if names is None:
+        names = registry.list_scenarios()
+    results = []
+    for name in names:
+        case = registry.build(name)
+        policies = None if policies_factory is None else policies_factory(case)
+        results.append(
+            evaluate_scenario(
+                case,
+                policies=policies,
+                num_cases=num_cases,
+                horizon=horizon,
+                seed=seed,
+                memory_length=1,
+                engine=engine,
+                jobs=jobs,
+            )
+        )
+    return results

@@ -1,0 +1,178 @@
+"""Built-in scenario zoo: the registered case studies.
+
+Five plants spanning state dimensions 1–4 and both safe-controller
+recipes, all pushed through the identical pipeline (certified ``XI``,
+strengthened ``X'``, skip-aware monitor):
+
+* ``acc`` — the paper's adaptive cruise control (2 states, RMPC, coast
+  skip input); parameters from Huang et al., DAC 2020, Sec. IV.
+* ``thermal`` — room-temperature regulation about a setpoint (1 state,
+  RMPC); first-order RC building model, textbook constants.
+* ``pendulum`` — inverted pendulum stabilised about the upright (2
+  states, RMPC, ZOH discretisation); unit-mass unit-length pendulum.
+* ``dc_motor`` — DC-servo positioning (3 states: angle, speed, current;
+  LQR feedback); classic armature-controlled motor constants.
+* ``lane_keeping`` — highway lateral/yaw error dynamics at 20 m/s (4
+  states, LQR feedback); linearised bicycle model (Rajamani, *Vehicle
+  Dynamics and Control*, ch. 2–3) with mid-size-sedan constants.
+
+Each factory returns a fresh :class:`~repro.scenarios.spec.ScenarioSpec`;
+synthesis results are shared through the builder cache, so repeated
+``build`` calls stay cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import HPolytope
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "acc_spec",
+    "thermal_spec",
+    "pendulum_spec",
+    "dc_motor_spec",
+    "lane_keeping_spec",
+]
+
+
+@register_scenario("acc")
+def acc_spec() -> ScenarioSpec:
+    """The paper's ACC case study as a registry scenario.
+
+    Delegates to :func:`repro.acc.case_study.acc_scenario_spec` (imported
+    lazily to keep the registry import-light and cycle-free), so the
+    registered scenario and ``repro.acc.build_case_study`` share one
+    parameter source and one cache entry.
+    """
+    from repro.acc.case_study import acc_scenario_spec
+
+    return acc_scenario_spec()
+
+
+@register_scenario("thermal")
+def thermal_spec() -> ScenarioSpec:
+    """Room-temperature control: 1 state, RMPC, forward-Euler.
+
+    First-order building thermal model about the setpoint,
+    ``Ṫ = −a T + b u + w`` with leakage ``a = 0.1 /min``, heater/cooler
+    authority ``b = 0.05 K/min`` per unit power and ambient fluctuation
+    ``|w| ≤ 0.1 K`` per 1-minute sampling period.  Comfort band ±2 K.
+    The skip input is zero (HVAC idles), so the strengthened set is the
+    band from which one minute of pure drift provably stays certified.
+    """
+    return ScenarioSpec(
+        name="thermal",
+        description="room-temperature regulation, 1 state, RMPC",
+        source="first-order RC building model, textbook constants",
+        A=[[-0.1]],
+        B=[[0.05]],
+        continuous=True,
+        dt=1.0,
+        discretization="euler",
+        safe_set=HPolytope.from_box([-2.0], [2.0]),
+        input_set=HPolytope.from_box([-15.0], [15.0]),
+        disturbance_set=HPolytope.from_box([-0.1], [0.1]),
+        controller="rmpc",
+        horizon=10,
+        input_weight=0.1,
+    )
+
+
+@register_scenario("pendulum")
+def pendulum_spec() -> ScenarioSpec:
+    """Inverted pendulum about the upright: 2 states, RMPC, ZOH.
+
+    Unit-mass, unit-length pendulum linearised at the unstable upright
+    equilibrium: ``θ̈ = (g/l) θ + u / (m l²)`` with ``g = 9.81``.
+    Sampled at 20 ms with the exact zero-order hold (exercising the
+    non-Euler discretisation path).  The open loop is unstable, so —
+    unlike the ACC — skipping is only admissible in a genuinely
+    strict subset of ``XI``.
+    """
+    return ScenarioSpec(
+        name="pendulum",
+        description="inverted pendulum about upright, 2 states, RMPC",
+        source="unit-mass unit-length pendulum, linearised upright",
+        A=[[0.0, 1.0], [9.81, 0.0]],
+        B=[[0.0], [1.0]],
+        continuous=True,
+        dt=0.02,
+        discretization="zoh",
+        safe_set=HPolytope.from_box([-0.3, -1.5], [0.3, 1.5]),
+        input_set=HPolytope.from_box([-8.0], [8.0]),
+        disturbance_set=HPolytope.from_box([-1e-3, -5e-3], [1e-3, 5e-3]),
+        controller="rmpc",
+        horizon=10,
+    )
+
+
+@register_scenario("dc_motor")
+def dc_motor_spec() -> ScenarioSpec:
+    """DC-servo positioning: 3 states (angle, speed, current), LQR.
+
+    Armature-controlled DC motor — ``θ̇ = ω``,
+    ``ω̇ = (K_t i − b ω) / J``, ``i̇ = (−R i − K_e ω + u) / L`` — with
+    classic demo constants ``J = 0.01``, ``b = 0.1``, ``K_t = K_e =
+    0.01``, ``R = 1``, ``L = 0.5``, sampled at 50 ms.  Load-torque and
+    supply-ripple disturbances enter on the speed and current states.
+    """
+    return ScenarioSpec(
+        name="dc_motor",
+        description="DC-servo positioning, 3 states, LQR feedback",
+        source="armature-controlled DC motor, classic demo constants",
+        A=[[0.0, 1.0, 0.0], [0.0, -10.0, 1.0], [0.0, -0.02, -2.0]],
+        B=[[0.0], [0.0], [2.0]],
+        continuous=True,
+        dt=0.05,
+        discretization="euler",
+        safe_set=HPolytope.from_box([-1.0, -2.0, -5.0], [1.0, 2.0, 5.0]),
+        input_set=HPolytope.from_box([-12.0], [12.0]),
+        disturbance_set=HPolytope.from_box(
+            [-0.002, -0.01, -0.01], [0.002, 0.01, 0.01]
+        ),
+        controller="linear",
+        state_weight=1.0,
+        input_weight=1.0,
+    )
+
+
+@register_scenario("lane_keeping")
+def lane_keeping_spec() -> ScenarioSpec:
+    """Highway lane keeping: 4 states, LQR feedback.
+
+    Linearised bicycle-model error dynamics at ``v_x = 20 m/s`` —
+    states are lateral offset, lateral velocity, yaw error, yaw-rate
+    error; the input is the front steering angle.  Mid-size-sedan
+    constants ``m = 1500 kg``, ``I_z = 3000 kg m²``, ``C_f = C_r =
+    60 kN/rad``, ``l_f = 1.2 m``, ``l_r = 1.6 m`` (Rajamani ch. 2–3),
+    sampled at 20 ms.  Crosswind and road-crown disturbances enter on
+    the lateral-velocity and yaw-rate states.
+    """
+    return ScenarioSpec(
+        name="lane_keeping",
+        description="highway lane keeping, 4 states, LQR feedback",
+        source="linearised bicycle model (Rajamani), sedan at 20 m/s",
+        A=[
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, -8.0, 160.0, 1.6],
+            [0.0, 0.0, 0.0, 1.0],
+            [0.0, 0.8, -16.0, -8.0],
+        ],
+        B=[[0.0], [80.0], [0.0], [48.0]],
+        continuous=True,
+        dt=0.02,
+        discretization="euler",
+        safe_set=HPolytope.from_box(
+            [-1.0, -2.0, -0.15, -0.6], [1.0, 2.0, 0.15, 0.6]
+        ),
+        input_set=HPolytope.from_box([-0.15], [0.15]),
+        disturbance_set=HPolytope.from_box(
+            [0.0, -0.01, 0.0, -0.005], [0.0, 0.01, 0.0, 0.005]
+        ),
+        controller="linear",
+        state_weight=1.0,
+        input_weight=50.0,
+    )

@@ -1,0 +1,107 @@
+"""Scenario registry: name → specification factory.
+
+The registry decouples *naming* a benchmark from *paying* for it:
+registration stores a zero-argument factory producing the
+:class:`~repro.scenarios.spec.ScenarioSpec`, so importing the library is
+cheap and the expensive set synthesis only happens on
+:func:`build` / :func:`repro.scenarios.builder.build_case_study`.
+
+Usage::
+
+    from repro import scenarios
+
+    scenarios.list_scenarios()          # ['acc', 'dc_motor', ...]
+    spec = scenarios.get("pendulum")    # the declarative spec
+    case = scenarios.build("pendulum")  # synthesised sets, cached
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.scenarios.builder import CaseStudy, build_case_study
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "register",
+    "register_scenario",
+    "get",
+    "build",
+    "list_scenarios",
+    "unregister",
+]
+
+_REGISTRY: Dict[str, Callable[[], ScenarioSpec]] = {}
+
+
+def register(
+    name: str,
+    spec_factory: Callable[[], ScenarioSpec],
+    overwrite: bool = False,
+) -> None:
+    """Register a scenario under ``name``.
+
+    Args:
+        name: Registry key; the produced spec's ``name`` must match.
+        spec_factory: Zero-argument callable returning the spec (invoked
+            lazily, once per :func:`get`).
+        overwrite: Allow replacing an existing registration.
+
+    Raises:
+        ValueError: On duplicate names unless ``overwrite``.
+    """
+    if not name:
+        raise ValueError("scenario name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"scenario {name!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    _REGISTRY[name] = spec_factory
+
+
+def register_scenario(name: str, overwrite: bool = False) -> Callable:
+    """Decorator form of :func:`register` for spec-factory functions."""
+
+    def decorate(factory: Callable[[], ScenarioSpec]):
+        register(name, factory, overwrite=overwrite)
+        return factory
+
+    return decorate
+
+
+def unregister(name: str) -> None:
+    """Remove a registration (primarily for test isolation)."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> ScenarioSpec:
+    """The spec registered under ``name``.
+
+    Raises:
+        KeyError: For unknown names, listing what *is* registered.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(
+            f"unknown scenario {name!r}; registered scenarios: {known}"
+        ) from None
+    spec = factory()
+    if spec.name != name:
+        raise ValueError(
+            f"factory registered as {name!r} produced a spec named "
+            f"{spec.name!r}"
+        )
+    return spec
+
+
+def build(name: str, use_cache: bool = True) -> CaseStudy:
+    """Shorthand for ``build_case_study(get(name))``."""
+    return build_case_study(get(name), use_cache=use_cache)
+
+
+def list_scenarios() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,252 @@
+"""Declarative scenario specifications for the case-study builder.
+
+A :class:`ScenarioSpec` is everything the paper's framework needs to turn
+a constrained LTI plant into a full benchmark: dynamics (discrete, or
+continuous matrices plus a sampling period to discretize), the safe /
+input / disturbance polytopes, the constant input applied when skipping,
+and the safe-controller recipe (the tube RMPC of Eq. 5, or a linear
+feedback with an auto-synthesised LQR gain).  The spec is pure data — the
+expensive set synthesis (``XI``, ``X'``) lives in
+:mod:`repro.scenarios.builder`.
+
+Specs are immutable and carry a content-derived :attr:`ScenarioSpec.cache_key`
+so the builder can memoise synthesis per *parameter set*: two specs that
+differ in any numeric ingredient — including only the skip input, which
+changes ``X'`` but nothing else — hash to different keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry import HPolytope
+from repro.utils.validation import as_matrix, as_vector, check_square
+
+__all__ = ["ScenarioSpec", "ScenarioSynthesisError"]
+
+
+class ScenarioSynthesisError(ValueError):
+    """Set synthesis for a scenario failed (e.g. no RCI subset exists).
+
+    Raised by the builder with a message naming the scenario and the
+    failing stage, so a mis-parameterised spec surfaces as a diagnosis
+    rather than as an empty polytope propagating NaNs downstream.
+    """
+
+
+@dataclass(frozen=True, eq=False)
+class ScenarioSpec:
+    """Complete declarative description of one benchmark scenario.
+
+    Equality and hashing follow :attr:`cache_key` (content identity over
+    every synthesis-relevant ingredient, labels excluded) — the generated
+    dataclass ``__eq__`` would choke on the array/polytope fields.
+
+    Attributes:
+        name: Registry identifier (e.g. ``"pendulum"``).
+        A: State matrix — discrete by default, continuous-time when
+            ``continuous=True``.
+        B: Input matrix (same convention as ``A``).
+        safe_set: State constraints ``X`` (must contain the origin).
+        input_set: Input constraints ``U`` (must contain the origin).
+        disturbance_set: Disturbance polytope ``W`` in state space
+            (must contain the origin).
+        description: One-line human description for listings.
+        source: Provenance of the numeric parameters (paper / textbook).
+        continuous: When True, ``A``/``B`` are continuous-time and the
+            builder discretizes them with ``dt`` and ``discretization``.
+        dt: Sampling period; required iff ``continuous``.
+        discretization: ``"euler"`` (forward Euler, the paper's scheme)
+            or ``"zoh"`` (exact zero-order hold).
+        skip_input: Constant input applied when skipping; None means the
+            paper's zero input.
+        controller: Safe-controller recipe — ``"rmpc"`` (tube RMPC,
+            ``XI`` = certified feasible region per Prop. 1) or
+            ``"linear"`` (``u = K x``, ``XI`` = maximal RPI set of the
+            closed loop inside ``X ∩ K⁻¹U``).
+        horizon: RMPC prediction horizon ``N`` (ignored for linear).
+        state_weight: RMPC stage weight ``P`` / LQR ``Q = state_weight·I``.
+        input_weight: RMPC stage weight ``Q`` / LQR ``R = input_weight·I``.
+        gain: Explicit feedback gain ``K`` of shape ``(m, n)`` for the
+            linear controller; None synthesises an LQR gain from the
+            weights above.
+    """
+
+    name: str
+    A: np.ndarray
+    B: np.ndarray
+    safe_set: HPolytope
+    input_set: HPolytope
+    disturbance_set: HPolytope
+    description: str = ""
+    source: str = ""
+    continuous: bool = False
+    dt: Optional[float] = None
+    discretization: str = "euler"
+    skip_input: Optional[np.ndarray] = None
+    controller: str = "rmpc"
+    horizon: int = 10
+    state_weight: float = 1.0
+    input_weight: float = 1.0
+    gain: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        A = check_square(as_matrix(self.A, "A"), "A")
+        B = as_matrix(self.B, "B")
+        if B.shape[0] != A.shape[0]:
+            raise ValueError(
+                f"scenario {self.name!r}: B has {B.shape[0]} rows, "
+                f"A is {A.shape[0]}x{A.shape[0]}"
+            )
+        object.__setattr__(self, "A", A)
+        object.__setattr__(self, "B", B)
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.controller not in ("rmpc", "linear"):
+            raise ValueError(
+                f"scenario {self.name!r}: controller must be 'rmpc' or "
+                f"'linear', got {self.controller!r}"
+            )
+        if self.discretization not in ("euler", "zoh"):
+            raise ValueError(
+                f"scenario {self.name!r}: discretization must be 'euler' "
+                f"or 'zoh', got {self.discretization!r}"
+            )
+        if self.continuous:
+            if self.dt is None or self.dt <= 0:
+                raise ValueError(
+                    f"scenario {self.name!r}: continuous dynamics require "
+                    "a positive dt"
+                )
+        if self.horizon < 1:
+            raise ValueError(f"scenario {self.name!r}: horizon must be >= 1")
+        n, m = A.shape[0], B.shape[1]
+        if self.safe_set.dim != n:
+            raise ValueError(
+                f"scenario {self.name!r}: safe_set lives in R^"
+                f"{self.safe_set.dim}, state space is R^{n}"
+            )
+        if self.input_set.dim != m:
+            raise ValueError(
+                f"scenario {self.name!r}: input_set lives in R^"
+                f"{self.input_set.dim}, input space is R^{m}"
+            )
+        if self.disturbance_set.dim != n:
+            raise ValueError(
+                f"scenario {self.name!r}: disturbance_set must live in "
+                f"state space R^{n} (lift input-channel disturbances first)"
+            )
+        if self.skip_input is not None:
+            skip = as_vector(self.skip_input, "skip_input")
+            if skip.size != m:
+                raise ValueError(
+                    f"scenario {self.name!r}: skip_input has dimension "
+                    f"{skip.size}, input space is R^{m}"
+                )
+            object.__setattr__(self, "skip_input", skip)
+        if self.gain is not None:
+            gain = as_matrix(self.gain, "gain")
+            if gain.shape != (m, n):
+                raise ValueError(
+                    f"scenario {self.name!r}: gain must be ({m}, {n}), "
+                    f"got {gain.shape}"
+                )
+            object.__setattr__(self, "gain", gain)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ScenarioSpec):
+            return NotImplemented
+        return self.cache_key == other.cache_key
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key)
+
+    @property
+    def n(self) -> int:
+        """State dimension."""
+        return self.A.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Input dimension."""
+        return self.B.shape[1]
+
+    def discrete_matrices(self) -> tuple:
+        """``(A_d, B_d)``: the discrete dynamics the builder instantiates.
+
+        Continuous specs are discretized with the configured scheme;
+        discrete specs pass through unchanged.
+        """
+        if not self.continuous:
+            return self.A, self.B
+        from repro.systems.discretize import euler_discretize, zoh_discretize
+
+        scheme = euler_discretize if self.discretization == "euler" else zoh_discretize
+        return scheme(self.A, self.B, self.dt)
+
+    def effective_skip_input(self) -> np.ndarray:
+        """The skip input as a concrete vector (zero when unspecified)."""
+        if self.skip_input is None:
+            return np.zeros(self.m)
+        return np.asarray(self.skip_input, dtype=float)
+
+    def with_name(self, name: str, description: Optional[str] = None) -> "ScenarioSpec":
+        """A copy under another registry name (variants share synthesis
+        through the cache because :attr:`cache_key` ignores labels)."""
+        if description is None:
+            return replace(self, name=name)
+        return replace(self, name=name, description=description)
+
+    @property
+    def cache_key(self) -> str:
+        """Content hash of every synthesis-relevant ingredient.
+
+        Labels (``name``/``description``/``source``) are excluded: two
+        differently-named specs with identical numerics share one cache
+        entry.  Everything that influences the synthesised sets — the
+        matrices, all three polytopes, the discretization, the skip input
+        and the full controller recipe — is hashed, so e.g. two specs
+        differing *only* in skip input get distinct entries (their ``X'``
+        differ).  Memoised per instance (immutable), since ``__eq__`` and
+        ``__hash__`` route through it.
+        """
+        cached = getattr(self, "_cache_key", None)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+
+        def feed(tag: str, payload) -> None:
+            digest.update(tag.encode())
+            if isinstance(payload, np.ndarray):
+                arr = np.ascontiguousarray(payload, dtype=float)
+                digest.update(str(arr.shape).encode())
+                digest.update(arr.tobytes())
+            else:
+                digest.update(repr(payload).encode())
+
+        feed("A", self.A)
+        feed("B", self.B)
+        for tag, poly in (
+            ("X", self.safe_set),
+            ("U", self.input_set),
+            ("W", self.disturbance_set),
+        ):
+            feed(tag + ".H", poly.H)
+            feed(tag + ".h", poly.h)
+        feed("continuous", bool(self.continuous))
+        feed("dt", None if self.dt is None else float(self.dt))
+        feed("discretization", self.discretization)
+        feed("skip", self.effective_skip_input())
+        feed("controller", self.controller)
+        feed("horizon", int(self.horizon))
+        feed("state_weight", float(self.state_weight))
+        feed("input_weight", float(self.input_weight))
+        feed("gain", self.gain if self.gain is not None else "auto")
+        key = digest.hexdigest()
+        object.__setattr__(self, "_cache_key", key)
+        return key

@@ -57,9 +57,31 @@ class SkippingPolicy(ABC):
     #: per-episode instances and are queried row by row.
     stateless: bool = False
 
+    #: True when :meth:`decide` actually reads the context beyond the
+    #: step index.  Context-blind policies (``AlwaysRun``/``AlwaysSkip``/
+    #: ``Periodic``) set this False *and* implement
+    #: :meth:`decide_batch_at`, letting the lockstep engine skip
+    #: materialising per-row :class:`DecisionContext` objects — the
+    #: largest remaining per-step Python cost at large batch sizes.
+    wants_context: bool = True
+
     @abstractmethod
     def decide(self, context: DecisionContext) -> int:
         """Return 1 to run the controller, 0 to skip."""
+
+    def decide_batch_at(self, time: int, count: int) -> np.ndarray:
+        """Context-free batch decision at step ``time`` for ``count`` rows.
+
+        Only meaningful for policies with ``wants_context = False``: the
+        result must equal ``decide_batch`` on ``count`` arbitrary contexts
+        whose ``time`` field is ``time``.  The base implementation raises
+        so a policy cannot silently claim context-freedom without
+        providing the fast path.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} sets wants_context={self.wants_context} "
+            "but does not implement decide_batch_at(time, count)"
+        )
 
     def decide_batch(self, contexts) -> np.ndarray:
         """Decide for a sequence of contexts at once.
@@ -92,12 +114,16 @@ class AlwaysRunPolicy(SkippingPolicy):
     """Ω ≡ 1: never skip (the RMPC-only baseline inside the framework)."""
 
     stateless = True
+    wants_context = False
 
     def decide(self, context: DecisionContext) -> int:
         return RUN
 
     def decide_batch(self, contexts) -> np.ndarray:
         return np.full(len(contexts), RUN, dtype=int)
+
+    def decide_batch_at(self, time: int, count: int) -> np.ndarray:
+        return np.full(count, RUN, dtype=int)
 
 
 class AlwaysSkipPolicy(SkippingPolicy):
@@ -108,9 +134,13 @@ class AlwaysSkipPolicy(SkippingPolicy):
     """
 
     stateless = True
+    wants_context = False
 
     def decide(self, context: DecisionContext) -> int:
         return SKIP
 
     def decide_batch(self, contexts) -> np.ndarray:
         return np.full(len(contexts), SKIP, dtype=int)
+
+    def decide_batch_at(self, time: int, count: int) -> np.ndarray:
+        return np.full(count, SKIP, dtype=int)

@@ -26,6 +26,7 @@ class PeriodicSkipPolicy(SkippingPolicy):
     """
 
     stateless = True
+    wants_context = False
 
     def __init__(self, period: int, offset: int = 0):
         if period < 1:
@@ -39,6 +40,10 @@ class PeriodicSkipPolicy(SkippingPolicy):
     def decide_batch(self, contexts) -> np.ndarray:
         times = np.array([context.time for context in contexts], dtype=int)
         return np.where((times + self.offset) % self.period == 0, RUN, SKIP)
+
+    def decide_batch_at(self, time: int, count: int) -> np.ndarray:
+        choice = RUN if (time + self.offset) % self.period == 0 else SKIP
+        return np.full(count, choice, dtype=int)
 
 
 class RandomSkipPolicy(SkippingPolicy):

@@ -63,6 +63,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["batch", "--engine", "warp"])
 
+    def test_batch_scenario_flag(self):
+        assert build_parser().parse_args(["batch"]).scenario == "acc"
+        args = build_parser().parse_args(["batch", "--scenario", "pendulum"])
+        assert args.scenario == "pendulum"
+
+    def test_scenarios_subcommand_flags(self):
+        args = build_parser().parse_args(["scenarios"])
+        assert args.command == "scenarios"
+        assert not args.detail
+        assert build_parser().parse_args(["scenarios", "--detail"]).detail
+
+    def test_sweep_subcommand_flags(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.scenarios is None
+        assert (args.cases, args.horizon, args.engine) == (8, 50, "serial")
+        args = build_parser().parse_args(
+            ["sweep", "--scenarios", "thermal", "pendulum",
+             "--cases", "3", "--engine", "lockstep"]
+        )
+        assert args.scenarios == ["thermal", "pendulum"]
+        assert args.cases == 3
+        assert args.engine == "lockstep"
+
 
 class TestExecution:
     def test_sets_command_renders(self, acc_case, capsys):
@@ -121,3 +144,40 @@ class TestExecution:
             results["serial"].deterministic_records()
             == results["lockstep"].deterministic_records()
         )
+
+    def test_scenarios_command_lists_zoo(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("acc", "thermal", "pendulum", "dc_motor", "lane_keeping"):
+            assert name in out
+        # The acceptance bar: at least five registered scenarios.
+        count = int(out.split(" registered scenario", 1)[0].split()[-1])
+        assert count >= 5
+
+    def test_batch_rejects_experiment_on_non_acc_scenario(self, capsys):
+        assert main(
+            ["batch", "--scenario", "thermal", "--experiment", "ex5",
+             "--episodes", "2", "--horizon", "5"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--experiment" in err
+        assert "thermal" in err
+
+    def test_batch_command_on_registry_scenario(self, capsys):
+        assert main(
+            ["batch", "--scenario", "thermal", "--episodes", "2",
+             "--horizon", "6", "--engine", "lockstep"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenario=thermal" in out
+        assert "2 episodes" in out
+
+    def test_sweep_command_runs_and_reports_safe(self, capsys):
+        assert main(
+            ["sweep", "--scenarios", "thermal", "--cases", "2",
+             "--horizon", "6", "--engine", "lockstep"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "thermal" in out
+        assert "bang_bang" in out
+        assert "all scenarios safe" in out

@@ -450,3 +450,104 @@ class TestRunLockstepValidation:
                 states,
                 [np.zeros((3, 2))] * len(states),
             )
+
+
+class TestContextFreeFastPath:
+    """The wants_context = False protocol (ROADMAP: skip per-row
+    DecisionContext materialisation for context-blind policies)."""
+
+    def test_builtin_flags(self):
+        assert AlwaysRunPolicy.wants_context is False
+        assert AlwaysSkipPolicy.wants_context is False
+        assert PeriodicSkipPolicy.wants_context is False
+        assert MarginThresholdPolicy.wants_context is True
+        assert RandomSkipPolicy.wants_context is True
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            AlwaysRunPolicy(),
+            AlwaysSkipPolicy(),
+            PeriodicSkipPolicy(3, offset=1),
+            PeriodicSkipPolicy(1),
+        ],
+        ids=["always_run", "always_skip", "periodic31", "periodic1"],
+    )
+    def test_decide_batch_at_matches_decide_batch(self, policy):
+        for t in range(7):
+            contexts = [
+                DecisionContext(
+                    time=t,
+                    state=np.array([0.1 * i, -0.2]),
+                    past_disturbances=np.zeros((1, 2)),
+                )
+                for i in range(4)
+            ]
+            assert np.array_equal(
+                policy.decide_batch_at(t, 4), policy.decide_batch(contexts)
+            )
+
+    def test_base_default_raises(self):
+        class Claims(AlwaysSkipPolicy):
+            decide_batch_at = (
+                __import__("repro.skipping.base", fromlist=["SkippingPolicy"])
+                .SkippingPolicy.decide_batch_at
+            )
+
+        with pytest.raises(NotImplementedError, match="decide_batch_at"):
+            Claims().decide_batch_at(0, 3)
+
+    def test_lockstep_materialises_no_contexts(self, di_batch, monkeypatch):
+        """With a context-free policy the engine must never construct a
+        DecisionContext — the whole point of the fast path."""
+        import repro.framework.lockstep as lockstep_module
+
+        class Forbidden:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError("DecisionContext built on the fast path")
+
+        monkeypatch.setattr(lockstep_module, "DecisionContext", Forbidden)
+        make, factory, states, _xp = di_batch
+        result = make(
+            BatchRunner, lambda: PeriodicSkipPolicy(2), engine="lockstep"
+        ).run_seeded(states, factory, ROOT_SEED)
+        assert len(result) == len(states)
+
+    def test_lockstep_still_builds_contexts_when_wanted(
+        self, di_batch, monkeypatch
+    ):
+        """A context-reading policy must keep receiving real contexts."""
+        import repro.framework.lockstep as lockstep_module
+
+        built = []
+        original = lockstep_module.DecisionContext
+
+        def counting(*args, **kwargs):
+            context = original(*args, **kwargs)
+            built.append(context)
+            return context
+
+        monkeypatch.setattr(lockstep_module, "DecisionContext", counting)
+        make, factory, states, xp = di_batch
+        make(
+            BatchRunner,
+            lambda: MarginThresholdPolicy(xp, 0.01),
+            engine="lockstep",
+        ).run_seeded(states, factory, ROOT_SEED)
+        assert built, "wants_context=True policy saw no contexts"
+
+    def test_fast_path_identical_to_contextful_variant(self, di_batch):
+        """Forcing the slow path on a context-free policy cannot change
+        a single record."""
+
+        class SlowPeriodic(PeriodicSkipPolicy):
+            wants_context = True
+
+        make, factory, states, _xp = di_batch
+        fast = make(
+            BatchRunner, lambda: PeriodicSkipPolicy(3), engine="lockstep"
+        ).run_seeded(states, factory, ROOT_SEED)
+        slow = make(
+            BatchRunner, lambda: SlowPeriodic(3), engine="lockstep"
+        ).run_seeded(states, factory, ROOT_SEED)
+        assert fast.deterministic_records() == slow.deterministic_records()

@@ -1,0 +1,186 @@
+"""Invariance synthesis on non-ACC plants (1-D and 3-D), including the
+degenerate no-RCI case the scenario builder must surface as a clear error.
+
+The library's certificates were exercised almost exclusively on the
+paper's 2-D ACC model; the scenario zoo feeds them arbitrary dimensions,
+so these tests pin the behaviour at the dimensional extremes the zoo
+actually uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import HPolytope
+from repro.invariance.rci import is_rci, maximal_rci
+from repro.invariance.reach import strengthened_safe_set
+from repro.scenarios import ScenarioSpec, ScenarioSynthesisError, build_case_study
+from repro.systems import DiscreteLTISystem
+
+
+def one_d_system(a=0.9, b=0.05, w=0.1) -> DiscreteLTISystem:
+    return DiscreteLTISystem(
+        [[a]],
+        [[b]],
+        HPolytope.from_box([-2.0], [2.0]),
+        HPolytope.from_box([-15.0], [15.0]),
+        HPolytope.from_box([-w], [w]),
+    )
+
+
+def three_d_system() -> DiscreteLTISystem:
+    """Stable 3-D chain (discretized DC-motor-like dynamics)."""
+    A = np.array(
+        [
+            [1.0, 0.05, 0.0],
+            [0.0, 0.5, 0.05],
+            [0.0, -0.001, 0.9],
+        ]
+    )
+    B = np.array([[0.0], [0.0], [0.1]])
+    return DiscreteLTISystem(
+        A,
+        B,
+        HPolytope.from_box([-1.0, -2.0, -5.0], [1.0, 2.0, 5.0]),
+        HPolytope.from_box([-12.0], [12.0]),
+        HPolytope.from_box([-0.002, -0.01, -0.01], [0.002, 0.01, 0.01]),
+    )
+
+
+class TestOneDimensional:
+    def test_maximal_rci_is_certified(self):
+        system = one_d_system()
+        result = maximal_rci(
+            system.A,
+            system.B,
+            system.safe_set,
+            system.input_set,
+            system.disturbance_set,
+        )
+        assert result.converged
+        assert is_rci(
+            system.A,
+            system.B,
+            result.invariant_set,
+            system.input_set,
+            system.disturbance_set,
+            tol=1e-6,
+        )
+        # Ample input authority: the whole safe interval is invariant.
+        assert result.invariant_set.equals(system.safe_set, tol=1e-6)
+
+    def test_strengthened_set_truncates_against_drift(self):
+        system = one_d_system()
+        xi = maximal_rci(
+            system.A,
+            system.B,
+            system.safe_set,
+            system.input_set,
+            system.disturbance_set,
+        ).invariant_set
+        # Skip input pushing up by B*u = 0.5 per step: the top of XI can
+        # no longer skip safely, the bottom still can.
+        strengthened = strengthened_safe_set(system, xi, skip_input=[10.0])
+        assert xi.contains_polytope(strengthened)
+        assert not strengthened.is_empty()
+        assert not strengthened.equals(xi, tol=1e-6)
+        lo, hi = strengthened.bounding_box()
+        # max x with 0.9x + 0.5 + 0.1 <= 2  =>  x <= 1.5555...
+        assert hi[0] == pytest.approx((2.0 - 0.6) / 0.9, abs=1e-6)
+        assert lo[0] == pytest.approx(-2.0, abs=1e-6)
+
+    def test_degenerate_no_rci_raises(self):
+        # x+ = 2x + u + w with |u| <= 0.5, |w| <= 2: the disturbance
+        # overwhelms the input on all of X, no RCI subset exists.
+        system = DiscreteLTISystem(
+            [[2.0]],
+            [[1.0]],
+            HPolytope.from_box([-1.0], [1.0]),
+            HPolytope.from_box([-0.5], [0.5]),
+            HPolytope.from_box([-2.0], [2.0]),
+        )
+        with pytest.raises(ValueError, match="no robust control invariant"):
+            maximal_rci(
+                system.A,
+                system.B,
+                system.safe_set,
+                system.input_set,
+                system.disturbance_set,
+            )
+
+
+class TestThreeDimensional:
+    def test_maximal_rci_certified_in_3d(self):
+        system = three_d_system()
+        result = maximal_rci(
+            system.A,
+            system.B,
+            system.safe_set,
+            system.input_set,
+            system.disturbance_set,
+            max_iterations=30,
+        )
+        invariant = result.invariant_set
+        assert not invariant.is_empty()
+        assert system.safe_set.contains_polytope(invariant, tol=1e-6)
+        assert is_rci(
+            system.A,
+            system.B,
+            invariant,
+            system.input_set,
+            system.disturbance_set,
+            tol=1e-6,
+        )
+
+    def test_strengthened_set_nested_in_3d(self):
+        system = three_d_system()
+        invariant = maximal_rci(
+            system.A,
+            system.B,
+            system.safe_set,
+            system.input_set,
+            system.disturbance_set,
+            max_iterations=30,
+        ).invariant_set
+        strengthened = strengthened_safe_set(system, invariant)
+        assert not strengthened.is_empty()
+        assert invariant.contains_polytope(strengthened)
+        # Zero-input drift from deep inside X' stays within XI for every
+        # disturbance vertex (the content of Theorem 1's skip branch).
+        center, _ = strengthened.chebyshev_center()
+        for w_vertex in system.disturbance_set.vertices():
+            nxt = system.step(center, np.zeros(1), w_vertex)
+            assert invariant.contains(nxt, tol=1e-7)
+
+
+class TestBuilderDegenerateSurface:
+    def test_builder_raises_clear_error_not_empty_polytope(self):
+        spec = ScenarioSpec(
+            name="overwhelmed",
+            A=[[2.0]],
+            B=[[1.0]],
+            safe_set=HPolytope.from_box([-1.0], [1.0]),
+            input_set=HPolytope.from_box([-0.5], [0.5]),
+            disturbance_set=HPolytope.from_box([-2.0], [2.0]),
+            controller="rmpc",
+            horizon=3,
+        )
+        with pytest.raises(ScenarioSynthesisError) as excinfo:
+            build_case_study(spec, use_cache=False)
+        message = str(excinfo.value)
+        assert "overwhelmed" in message
+        assert "failed" in message
+
+    def test_builder_linear_recipe_degenerate_also_raises(self):
+        spec = ScenarioSpec(
+            name="overwhelmed_linear",
+            A=[[2.0]],
+            B=[[1.0]],
+            safe_set=HPolytope.from_box([-1.0], [1.0]),
+            input_set=HPolytope.from_box([-0.5], [0.5]),
+            disturbance_set=HPolytope.from_box([-2.0], [2.0]),
+            controller="linear",
+        )
+        with pytest.raises(ScenarioSynthesisError, match="overwhelmed_linear"):
+            build_case_study(spec, use_cache=False)
