@@ -7,21 +7,35 @@ tiny scale and operators can size batches::
         --episodes 256 --horizon 100 --jobs 2
 
 It runs the same seeded bang-bang batch on the ACC case study through
-every engine and cross-checks that all of them produced
-record-for-record identical deterministic fields (the differential
-guarantee the test suite proves at small scale); any mismatch makes the
-script exit non-zero.
+every engine and cross-checks every row under the two-tier determinism
+contract (see ``repro.framework.lockstep``); any failed check makes the
+script exit non-zero:
+
+* **bitwise** rows (closed-form controllers; every engine for them, plus
+  the ``lockstep-exact`` audit row of LP controllers) must produce
+  record-for-record identical deterministic fields to the serial
+  reference — the differential guarantee the test suite proves at small
+  scale;
+* **plan-equivalent** rows (the lockstep engine's stacked block-diagonal
+  κ_R solves) must match the scalar solves' optimal cost within 1e-9
+  with feasible first inputs (``verify_plan_equivalence``) and finish
+  every episode with zero safety violations.
 
 Two controller configurations are timed:
 
 * ``linear`` — an LQR feedback (vectorised ``compute_batch``, non-strict
   monitor).  Every per-step cost is batchable, so this row isolates the
-  engine overhead: it is where lockstep's single-core speedup shows
-  (the headline number), while fork-based parallelism pays overhead on
-  a single-CPU container.
-* ``rmpc`` — the paper's robust MPC κ_R.  Its LP solve falls back to the
-  per-row path in every engine, so the achievable speedup is bounded by
-  the fraction of monitor-forced steps; the row quantifies exactly that.
+  engine overhead: it is where lockstep's single-core speedup shows,
+  while fork-based parallelism pays overhead on a single-CPU container.
+* ``rmpc`` — the paper's robust MPC κ_R.  Lockstep stacks the per-step
+  Eq.-5 LPs of all running episodes into one sparse block-diagonal HiGHS
+  solve (``RobustMPC.solve_batch``); the ``lockstep-exact`` row times the
+  ``exact_solves=True`` audit mode, which keeps the scalar path and so
+  bounds what the engine alone buys.
+
+Every run also writes a ``BENCH_lockstep.json`` perf-trajectory artifact
+(per-row episodes/sec + speedups, machine info) so successive commits
+can be compared; disable with ``--artifact ''``.
 """
 
 from __future__ import annotations
@@ -29,13 +43,15 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import sys
 import time
 
 import numpy as np
+import scipy
 
 from repro.acc import acc_disturbance_factory, build_case_study
-from repro.controllers import LinearFeedback, lqr_gain
+from repro.controllers import LinearFeedback, lqr_gain, verify_plan_equivalence
 from repro.framework import BatchRunner, ParallelBatchRunner
 from repro.skipping import AlwaysSkipPolicy
 
@@ -46,6 +62,18 @@ def visible_cpus() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:
         return os.cpu_count() or 1
+
+
+def machine_info() -> dict:
+    """Environment fingerprint for the perf-trajectory artifact."""
+    return {
+        "cpus": visible_cpus(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
 
 
 def _configurations(case) -> dict:
@@ -76,7 +104,8 @@ def run_benchmark(
 
     Returns:
         Dict with per-configuration throughput, speedup over that
-        configuration's serial baseline, and the identical-records flag.
+        configuration's serial baseline, the determinism contract each
+        row was checked under, and its pass/fail flag (``ok``).
     """
     case = build_case_study()
     factory = acc_disturbance_factory(case, experiment, horizon)
@@ -87,6 +116,7 @@ def run_benchmark(
     rows = []
     for name in controllers:
         controller, monitor_factory = available[name]
+        bitwise = getattr(controller, "bitwise_batch", True)
 
         def make_runner(cls, **extra):
             return cls(
@@ -106,22 +136,52 @@ def run_benchmark(
         serial_result, serial_seconds = timed(make_runner(BatchRunner))
         reference = serial_result.deterministic_records()
         engines = [
-            ("serial", make_runner(BatchRunner), serial_result, serial_seconds),
-            ("parallel", make_runner(ParallelBatchRunner, jobs=jobs), None, None),
-            ("lockstep", make_runner(BatchRunner, engine="lockstep"), None, None),
+            ("serial", make_runner(BatchRunner), "bitwise",
+             serial_result, serial_seconds),
+            ("parallel", make_runner(ParallelBatchRunner, jobs=jobs),
+             "bitwise", None, None),
+            ("lockstep", make_runner(BatchRunner, engine="lockstep"),
+             "bitwise" if bitwise else "plan-equivalent", None, None),
         ]
-        for engine, runner, result, seconds in engines:
+        if not bitwise:
+            # Audit mode: scalar solves restore bitwise parity, timing
+            # what the engine alone (without solve stacking) buys.
+            engines.append(
+                ("lockstep-exact",
+                 make_runner(BatchRunner, engine="lockstep",
+                             exact_solves=True),
+                 "bitwise", None, None)
+            )
+        for engine, runner, contract, result, seconds in engines:
             if result is None:
                 result, seconds = timed(runner)
+            identical = result.deterministic_records() == reference
+            if contract == "bitwise":
+                ok = identical
+                equivalence = None
+            else:
+                # Plan-equivalent tier: every episode violation-free and
+                # the stacked solve cost-identical (1e-9) to the scalar
+                # solve with feasible first inputs, probed at the batch's
+                # initial states.
+                violation_free = all(
+                    record.max_violation <= 0.0 for record in result.records
+                )
+                equivalence = verify_plan_equivalence(controller, states)
+                ok = violation_free and equivalence["equivalent"]
+                equivalence = {**equivalence, "violation_free": violation_free}
             rows.append(
                 {
                     "controller": name,
                     "engine": engine,
                     "jobs": jobs if engine == "parallel" else 1,
+                    "contract": contract,
                     "seconds": seconds,
                     "episodes_per_sec": episodes / seconds,
                     "speedup": serial_seconds / seconds,
-                    "identical": result.deterministic_records() == reference,
+                    "identical": identical,
+                    "ok": ok,
+                    "equivalence": equivalence,
                 }
             )
     return {
@@ -129,6 +189,7 @@ def run_benchmark(
         "horizon": horizon,
         "seed": seed,
         "cpus": visible_cpus(),
+        "machine": machine_info(),
         "rows": rows,
     }
 
@@ -148,6 +209,10 @@ def main(argv=None) -> int:
         choices=["linear", "rmpc"],
         help="controller configurations to bench",
     )
+    parser.add_argument(
+        "--artifact", default="BENCH_lockstep.json",
+        help="perf-trajectory artifact path ('' disables writing)",
+    )
     parser.add_argument("--json", default=None, help="also dump results here")
     args = parser.parse_args(argv)
 
@@ -160,21 +225,33 @@ def main(argv=None) -> int:
         f"{report['horizon']} steps, {report['cpus']} visible CPU(s)"
     )
     print(
-        f"{'controller':<11} {'engine':<9} {'jobs':>4} {'sec':>8} "
-        f"{'ep/s':>8} {'speedup':>8} {'identical':>9}"
+        f"{'controller':<11} {'engine':<15} {'jobs':>4} {'sec':>8} "
+        f"{'ep/s':>8} {'speedup':>8} {'contract':>15} {'ok':>5}"
     )
     for row in report["rows"]:
         print(
-            f"{row['controller']:<11} {row['engine']:<9} {row['jobs']:>4} "
+            f"{row['controller']:<11} {row['engine']:<15} {row['jobs']:>4} "
             f"{row['seconds']:>8.2f} {row['episodes_per_sec']:>8.2f} "
-            f"{row['speedup']:>7.2f}x {str(row['identical']):>9}"
+            f"{row['speedup']:>7.2f}x {row['contract']:>15} "
+            f"{str(row['ok']):>5}"
         )
-    if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(report, handle, indent=2)
-        print(f"report written to {args.json}")
-    if not all(row["identical"] for row in report["rows"]):
-        print("ERROR: an engine's records diverged from the serial reference")
+    for path in (args.artifact, args.json):
+        if path:
+            with open(path, "w") as handle:
+                json.dump(report, handle, indent=2)
+            print(f"report written to {path}")
+    failed = [row for row in report["rows"] if not row["ok"]]
+    if failed:
+        for row in failed:
+            print(
+                f"ERROR: {row['controller']}/{row['engine']} failed its "
+                f"{row['contract']} determinism check"
+                + (
+                    f" ({row['equivalence']})"
+                    if row["equivalence"] is not None
+                    else ""
+                )
+            )
         return 1
     return 0
 

@@ -269,6 +269,7 @@ def evaluate_approaches(
     memory_length: int = 1,
     jobs: int = 1,
     engine: Optional[str] = None,
+    exact_solves: bool = False,
 ) -> ComparisonResult:
     """Run the paired three-way comparison of the paper's Sec. IV.
 
@@ -289,13 +290,22 @@ def evaluate_approaches(
             realisations are drawn up front in the parent, so any
             ``jobs``/``engine`` choice yields the same
             fuel/energy/skip/forced numbers — only the wall-clock columns
-            (``mean_controller_ms``/``mean_monitor_ms``) vary.
+            (``mean_controller_ms``/``mean_monitor_ms``) vary.  (Sole
+            exception: lockstep's stacked κ_R solves are plan-equivalent,
+            not bitwise — see ``engine``/``exact_solves`` below.)
         engine: ``"serial"`` (per-case loop, forces ``jobs=1``),
             ``"parallel"`` (per-case fork fan-out over ``jobs`` workers)
             or ``"lockstep"`` (all cases of one approach advance as a
             single state matrix; single-core friendly).  ``None`` keeps
             the legacy behaviour: parallel iff ``jobs != 1``.  The DRL
             leg requires a stateless (ε = 0) policy under lockstep.
+            Under lockstep κ_R solves its LPs stacked, which is
+            plan-equivalent rather than bitwise to the other engines —
+            pass ``exact_solves=True`` for record-for-record parity
+            (see :mod:`repro.framework.lockstep`).
+        exact_solves: Lockstep only — keep κ_R on the scalar solve path
+            for bitwise parity with the serial engine instead of the
+            plan-equivalent stacked solve.
 
     Returns:
         A :class:`ComparisonResult`.
@@ -359,6 +369,7 @@ def evaluate_approaches(
             "parallel" if jobs != 1 else "serial"
         ),
         jobs=jobs,
+        exact_solves=exact_solves,
     )
 
     def finalize(name: str) -> ApproachStats:

@@ -69,7 +69,7 @@ def _cmd_compare(args) -> int:
     result = evaluate_approaches(
         case, args.experiment, num_cases=args.cases, horizon=args.horizon,
         seed=args.seed + 1, agent=agent, jobs=args.jobs,
-        engine=_resolve_engine(args),
+        engine=_resolve_engine(args), exact_solves=args.exact_solves,
     )
     print(f"\n{'approach':<12} {'fuel[g]':>8} {'saving':>8} {'skip%':>6}")
     print(f"{'RMPC-only':<12} {result.rmpc_only.fuel.mean():8.2f} {'-':>8} {0:5d}%")
@@ -98,7 +98,7 @@ def _cmd_experiment(args) -> int:
     result = evaluate_approaches(
         case, args.name, num_cases=args.cases, horizon=args.horizon,
         seed=args.seed + 1, agent=agent, jobs=args.jobs,
-        engine=_resolve_engine(args),
+        engine=_resolve_engine(args), exact_solves=args.exact_solves,
     )
     print(
         f"{args.name}: DRL saving {100*result.fuel_saving('drl').mean():.2f}%  "
@@ -170,6 +170,7 @@ def _cmd_sweep(args) -> int:
         seed=args.seed,
         engine=args.engine,
         jobs=args.jobs,
+        exact_solves=args.exact_solves,
     ):
         all_safe &= result.always_safe
         for approach in result.approaches:
@@ -229,7 +230,10 @@ def _cmd_batch(args) -> int:
             case.system, controller, jobs=args.jobs, **common
         )
     else:
-        runner = BatchRunner(case.system, controller, engine=engine, **common)
+        runner = BatchRunner(
+            case.system, controller, engine=engine,
+            exact_solves=args.exact_solves, **common,
+        )
     rng = np.random.default_rng(args.seed)
     states = case.sample_initial_states(rng, args.episodes)
     tick = time.perf_counter()
@@ -286,6 +290,12 @@ def _add_engine_flag(parser) -> None:
         help="execution engine; default: parallel if --jobs != 1, else "
              "serial (lockstep advances all episodes as one state matrix "
              "— the single-core fast path)",
+    )
+    parser.add_argument(
+        "--exact-solves", action="store_true", dest="exact_solves",
+        help="lockstep only: keep MPC solves on the scalar path for "
+             "record-for-record parity with the serial engine (default: "
+             "stacked block-diagonal solves, plan-equivalent)",
     )
 
 
@@ -401,6 +411,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("serial", "parallel", "lockstep"),
         default="serial",
         help="execution engine for every scenario's paired batch",
+    )
+    p_swp.add_argument(
+        "--exact-solves", action="store_true", dest="exact_solves",
+        help="lockstep only: scalar MPC solves for record-for-record "
+             "parity with the serial engine",
     )
     p_swp.set_defaults(func=_cmd_sweep)
     return parser

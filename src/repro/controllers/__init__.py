@@ -8,6 +8,7 @@ from repro.controllers.rmpc import (
     RMPCSolution,
     RobustMPC,
     build_terminal_set,
+    verify_plan_equivalence,
 )
 from repro.controllers.tightening import (
     tightened_constraints,
@@ -24,6 +25,7 @@ __all__ = [
     "RMPCSolution",
     "RMPCInfeasibleError",
     "build_terminal_set",
+    "verify_plan_equivalence",
     "rmpc_feasible_set",
     "rmpc_invariant_set",
     "tightened_constraints",

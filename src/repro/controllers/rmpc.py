@@ -10,16 +10,36 @@ with nominal prediction, recursively tightened state constraints and a
             x(0|t) = x(t).
 
 The 1-norm cost makes the whole problem a single LP, solved with HiGHS.
-All constraint matrices are assembled once at construction; each call
-only rewrites the initial-state equality right-hand side.
+All constraint matrices are assembled once at construction (as sparse
+CSR — the LP data is mostly structural zeros); each call only rewrites
+the initial-state equality right-hand side, into a per-call copy.
+
+Batch solving: :meth:`RobustMPC.solve_batch` stacks the ``k`` per-state
+Eq.-5 problems into one block-diagonal HiGHS solve via
+:func:`repro.utils.lp.solve_lp_batch` — the blocks share every matrix
+and differ only in the initial-state equality RHS.  Each block attains
+exactly the scalar optimum *value*, but when an LP has multiple optimal
+vertices the stacked solve may return a different one than ``k`` scalar
+solves would — the *plan-equivalent* tier of the determinism contract
+(see :mod:`repro.framework.lockstep`), which is why the class declares
+``bitwise_batch = False``.
+
+Thread-safety contract: after construction, all solve paths treat the
+assembled LP data as read-only (right-hand sides are modified on
+per-call copies), so one controller instance is safe to share across
+forked workers and re-entrant calls.  The only mutable state is the
+``solve_count`` accounting counter, whose increments are not atomic —
+exact counts are only guaranteed for unthreaded use (forked workers each
+count their own copy).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 from scipy.optimize import linprog
 
 from repro.controllers.base import Controller
@@ -28,9 +48,16 @@ from repro.controllers.tightening import tightened_constraints
 from repro.geometry import HPolytope
 from repro.invariance.rci import maximal_rpi
 from repro.systems.lti import DiscreteLTISystem
+from repro.utils.lp import LPError, solve_lp_batch
 from repro.utils.validation import as_vector
 
-__all__ = ["RobustMPC", "RMPCInfeasibleError", "RMPCSolution", "build_terminal_set"]
+__all__ = [
+    "RobustMPC",
+    "RMPCInfeasibleError",
+    "RMPCSolution",
+    "build_terminal_set",
+    "verify_plan_equivalence",
+]
 
 
 class RMPCInfeasibleError(RuntimeError):
@@ -87,6 +114,12 @@ class RobustMPC(Controller):
         tighten_with_closed_loop: If True, propagate the disturbance with
             ``A + B K`` (Chisci) instead of the paper's open-loop ``A``.
     """
+
+    #: A stacked :meth:`solve_batch` may return a different optimal vertex
+    #: than row-wise scalar solves when an LP has multiple optima, so the
+    #: batch path is *plan-equivalent*, not bitwise (see the two-tier
+    #: determinism contract in :mod:`repro.framework.lockstep`).
+    bitwise_batch = False
 
     def __init__(
         self,
@@ -178,7 +211,6 @@ class RobustMPC(Controller):
             A_eq[rows, x_slice(k)] = self.system.A
             A_eq[rows, u_slice(k)] = self.system.B
         A_eq[n * N :, x_slice(0)] = np.eye(n)
-        self._A_eq = A_eq
         self._b_eq = b_eq
         self._x0_rows = slice(n * N, n * N + n)
 
@@ -216,13 +248,48 @@ class RobustMPC(Controller):
                 row[:, su_slice(k)] = -np.eye(m)
                 blocks.append(row)
                 rhs.append(np.zeros(m))
-        self._A_ub = np.vstack(blocks)
+        # The constraint matrices are mostly structural zeros (each row
+        # touches one or two stage blocks), so hand HiGHS CSR directly —
+        # both for the scalar path and as the shared block of the stacked
+        # batch solve.
+        self._A_ub = sp.csr_matrix(np.vstack(blocks))
+        self._A_eq = sp.csr_matrix(A_eq)
         self._b_ub = np.concatenate(rhs)
         self._bounds = [(None, None)] * total
 
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
+    def _solve_raw(self, x: np.ndarray):
+        """One scalar HiGHS solve at ``x`` (no counting, no unpacking).
+
+        Writes the initial state into a *copy* of the equality RHS, so
+        concurrent/re-entrant calls never race on shared buffers.
+        """
+        b_eq = self._b_eq.copy()
+        b_eq[self._x0_rows] = x
+        return linprog(
+            self._cost,
+            A_ub=self._A_ub,
+            b_ub=self._b_ub,
+            A_eq=self._A_eq,
+            b_eq=b_eq,
+            bounds=self._bounds,
+            method="highs",
+        )
+
+    def _unpack(self, solution: np.ndarray, cost: float) -> RMPCSolution:
+        n, m, N = self.system.n, self.system.m, self.horizon
+        states = solution[: self._nx].reshape(N + 1, n)
+        inputs = solution[self._nx : self._nx + self._nu].reshape(N, m)
+        return RMPCSolution(inputs=inputs, states=states, cost=float(cost))
+
+    def _validate_state(self, state) -> np.ndarray:
+        x = as_vector(state, "state")
+        if x.size != self.system.n:
+            raise ValueError("state dimension mismatch")
+        return x
+
     def solve(self, state) -> RMPCSolution:
         """Solve Eq. (5) at ``state`` and return the full plan.
 
@@ -230,46 +297,129 @@ class RobustMPC(Controller):
             RMPCInfeasibleError: If ``state`` is outside the feasible
                 region ``X_F``.
         """
-        x = as_vector(state, "state")
-        if x.size != self.system.n:
-            raise ValueError("state dimension mismatch")
-        self._b_eq[self._x0_rows] = x
-        res = linprog(
-            self._cost,
-            A_ub=self._A_ub,
-            b_ub=self._b_ub,
-            A_eq=self._A_eq,
-            b_eq=self._b_eq,
-            bounds=self._bounds,
-            method="highs",
-        )
+        x = self._validate_state(state)
+        res = self._solve_raw(x)
         if not res.success:
             raise RMPCInfeasibleError(
                 f"RMPC infeasible at x={x} (status={res.status})"
             )
         self._solve_count += 1
-        n, m, N = self.system.n, self.system.m, self.horizon
-        sol = res.x
-        states = sol[: n * (N + 1)].reshape(N + 1, n)
-        inputs = sol[n * (N + 1) : n * (N + 1) + m * N].reshape(N, m)
-        return RMPCSolution(inputs=inputs, states=states, cost=float(res.fun))
+        return self._unpack(res.x, res.fun)
+
+    def solve_batch(self, states) -> List[RMPCSolution]:
+        """Solve Eq. (5) at every row of ``states`` in one stacked LP.
+
+        The ``k`` per-state problems share every constraint matrix and
+        differ only in the initial-state equality RHS, so they stack into
+        a single block-diagonal HiGHS solve (the CSR stack is cached in
+        :mod:`repro.utils.lp`).  Each returned plan attains exactly the
+        scalar optimum value; the optimal vertex may differ when the LP
+        is degenerate (plan-equivalent tier).  Counts ``k`` solves.
+
+        If the stacked solve fails — any single infeasible state sinks
+        the whole stack, and HiGHS does not say which block — the rows
+        are re-solved scalar so the offending episode is attributed
+        exactly: the raised :class:`RMPCInfeasibleError` names its state.
+
+        Returns:
+            ``k`` :class:`RMPCSolution`, aligned with the input rows.
+
+        Raises:
+            RMPCInfeasibleError: If any row is outside ``X_F`` (named).
+        """
+        X = np.atleast_2d(np.asarray(states, dtype=float))
+        if X.shape[0] == 0:
+            return []
+        if X.shape[1] != self.system.n:
+            raise ValueError("state dimension mismatch")
+        k = X.shape[0]
+        b_eq = np.tile(self._b_eq, (k, 1))
+        b_eq[:, self._x0_rows] = X
+        try:
+            solutions = solve_lp_batch(
+                np.tile(self._cost, (k, 1)),
+                self._A_ub,
+                self._b_ub,
+                a_eq=self._A_eq,
+                b_eq=b_eq,
+            )
+        except LPError:
+            # Scalar fallback: re-solve row by row so the infeasibility
+            # (or numerical failure) is attributed to the exact episode.
+            return [self.solve(x) for x in X]
+        self._solve_count += k
+        return [self._unpack(sol.x, sol.value) for sol in solutions]
 
     def compute(self, state) -> np.ndarray:
         """κ_R(x): first input of the optimal plan (receding horizon)."""
         return self.solve(state).inputs[0]
 
+    def compute_batch(self, states) -> np.ndarray:
+        """κ_R on every row via one stacked solve (see :meth:`solve_batch`).
+
+        Plan-equivalent to row-wise :meth:`compute`, not bitwise: each
+        row's input comes from a plan with the identical optimal cost and
+        is feasible in ``U``, but a degenerate LP may yield a different
+        optimal vertex than the scalar path.
+        """
+        X = np.atleast_2d(np.asarray(states, dtype=float))
+        if X.shape[0] == 0:
+            return np.zeros((0, self.input_dim))
+        return np.stack([sol.inputs[0] for sol in self.solve_batch(X)])
+
     def is_feasible(self, state) -> bool:
-        """Feasibility probe without raising."""
-        try:
-            self.solve(state)
-        except RMPCInfeasibleError:
-            return False
-        return True
+        """Feasibility probe without raising.
+
+        Probes do **not** count toward :attr:`solve_count` — the counter
+        feeds the paper's computation-saving accounting, which measures
+        control-law evaluations, not feasibility queries.
+        """
+        return bool(self._solve_raw(self._validate_state(state)).success)
 
     @property
     def solve_count(self) -> int:
-        """Number of successful LP solves (for compute accounting)."""
+        """Successful κ_R evaluations, for the paper's computation-saving
+        accounting.  A stacked :meth:`solve_batch` over ``k`` states
+        counts ``k`` (it replaces exactly ``k`` scalar solves);
+        :meth:`is_feasible` probes count zero."""
         return self._solve_count
 
     def reset(self) -> None:
         self._solve_count = 0
+
+
+def verify_plan_equivalence(
+    controller: RobustMPC, states, cost_tol: float = 1e-9, input_tol: float = 1e-7
+) -> dict:
+    """Check the plan-equivalent contract of :meth:`RobustMPC.solve_batch`.
+
+    For every row of ``states``, the stacked solve must attain the scalar
+    solve's optimal cost (within ``cost_tol``) and return a first input
+    feasible in ``U`` (within ``input_tol``).  This is the differential
+    harness behind the two-tier determinism contract: where closed-form
+    controllers are compared bitwise, stacked LP solves are compared by
+    this function (plus zero safety violations at the episode level).
+
+    Note: runs one batch solve and ``k`` scalar solves, so it inflates
+    :attr:`RobustMPC.solve_count` — a verification harness, not a hot path.
+
+    Returns:
+        Dict with ``equivalent`` (bool), ``count``, ``max_cost_diff`` and
+        ``inputs_feasible``.
+    """
+    X = np.atleast_2d(np.asarray(states, dtype=float))
+    batch = controller.solve_batch(X)
+    input_set = controller.system.input_set
+    max_cost_diff = 0.0
+    inputs_feasible = True
+    for x, sol in zip(X, batch):
+        scalar = controller.solve(x)
+        max_cost_diff = max(max_cost_diff, abs(sol.cost - scalar.cost))
+        if not input_set.contains(sol.inputs[0], tol=input_tol):
+            inputs_feasible = False
+    return {
+        "count": len(batch),
+        "max_cost_diff": max_cost_diff,
+        "inputs_feasible": inputs_feasible,
+        "equivalent": inputs_feasible and max_cost_diff <= cost_tol,
+    }

@@ -49,6 +49,7 @@ def paired_evaluation(
     memory_length: int = 1,
     engine: str = "serial",
     jobs: int = 1,
+    exact_solves: bool = False,
 ) -> Dict[str, List[tuple]]:
     """Run every approach over every case; collect per-case metric tuples.
 
@@ -70,6 +71,10 @@ def paired_evaluation(
         engine: ``"serial"``, ``"parallel"`` or ``"lockstep"``.
         jobs: Worker processes for the parallel engine (``None``/0 = one
             per CPU); ignored otherwise.
+        exact_solves: Lockstep only — keep the scalar path for
+            non-bitwise (stacked LP) controllers so results match the
+            serial engine record for record; the default stacked path is
+            plan-equivalent (see :mod:`repro.framework.lockstep`).
 
     Returns:
         Approach name → list of ``N`` metric tuples in case order.
@@ -103,7 +108,11 @@ def paired_evaluation(
                 )
             if policy is None:
                 stats_list = lockstep_controller_only(
-                    system, controller, initial_states, realisations
+                    system,
+                    controller,
+                    initial_states,
+                    realisations,
+                    exact_solves=exact_solves,
                 )
             else:
                 stats_list = run_lockstep(
@@ -115,6 +124,7 @@ def paired_evaluation(
                     realisations,
                     skip_input=skip_input,
                     memory_length=memory_length,
+                    exact_solves=exact_solves,
                 )
             collected[name] = [metrics_of(stats) for stats in stats_list]
         return collected

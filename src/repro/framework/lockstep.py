@@ -17,13 +17,32 @@ This is the only execution engine that raises episodes/sec on a
 single-core host — process fan-out (:class:`ParallelBatchRunner`) needs
 physical cores, lockstep only needs numpy.
 
-Determinism contract: for every episode the produced :class:`RunStats`
-holds exactly the trajectory, inputs, decisions and forced mask that the
-serial loop would produce (wall-clock timing arrays excepted — the
-shared per-step cost is amortised uniformly over the rows that paid it).
-The batch primitives evaluate the same floating-point expressions
-row-wise, and the differential test harness proves record-for-record
-equality against the serial engine.
+Determinism contract — two tiers, selected by the controller's
+:attr:`~repro.controllers.base.Controller.bitwise_batch` flag:
+
+* **bitwise** (closed-form controllers; every controller whose
+  ``compute_batch`` evaluates the same floating-point expressions
+  row-wise): each episode's :class:`RunStats` holds exactly the
+  trajectory, inputs, decisions and forced mask the serial loop would
+  produce (wall-clock timing arrays excepted — the shared per-step cost
+  is amortised uniformly over the rows that paid it).  The differential
+  test harness proves record-for-record equality against the serial
+  engine.
+* **plan-equivalent** (stacked LP controllers, i.e.
+  :class:`~repro.controllers.rmpc.RobustMPC` with its block-diagonal
+  :meth:`solve_batch`): when an LP has multiple optimal vertices, the
+  stacked solve need not return the same one as ``k`` scalar solves, so
+  trajectories may diverge from the serial loop while every solve still
+  attains the identical optimal cost (within 1e-9), every applied input
+  is feasible in ``U``, and Theorem 1 keeps all episodes violation-free.
+  :func:`repro.controllers.rmpc.verify_plan_equivalence` is the
+  differential check for this tier.
+
+Passing ``exact_solves=True`` opts out of the stacked path: non-bitwise
+controllers are routed through row-by-row
+:meth:`~repro.controllers.base.Controller.compute_rowwise`, restoring
+bitwise record-for-record parity with the serial engine for audits (at
+scalar-solve speed).  Bitwise controllers are unaffected by the flag.
 
 Caveats mirroring the serial semantics they replace:
 
@@ -61,6 +80,19 @@ from repro.systems.lti import DiscreteLTISystem
 from repro.utils.validation import as_vector
 
 __all__ = ["run_lockstep", "lockstep_controller_only"]
+
+
+def _batch_compute_fn(controller: Controller, exact_solves: bool):
+    """The engine's per-step κ evaluator under the two-tier contract.
+
+    ``exact_solves`` only changes anything for controllers that declare
+    ``bitwise_batch = False``: their stacked batch path is swapped for
+    the row-by-row scalar reference, restoring bitwise parity with the
+    serial engine.
+    """
+    if exact_solves and not getattr(controller, "bitwise_batch", True):
+        return controller.compute_rowwise
+    return controller.compute_batch
 
 
 def _equal_value(left, right) -> bool:
@@ -126,6 +158,7 @@ def run_lockstep(
     skip_input=None,
     memory_length: int = 1,
     reveal_future: bool = False,
+    exact_solves: bool = False,
 ) -> List[RunStats]:
     """Run ``N`` Algorithm-1 episodes in lockstep.
 
@@ -148,6 +181,10 @@ def run_lockstep(
         skip_input: Constant input applied when skipping (default zero).
         memory_length: The paper's ``r`` — disturbance-history window.
         reveal_future: Pass the realised future to Ω via the context.
+        exact_solves: Route non-bitwise controllers (stacked LP solvers)
+            through the row-by-row scalar path for record-for-record
+            parity with the serial engine (see the module's two-tier
+            determinism contract).  No effect on bitwise controllers.
 
     Returns:
         ``N`` :class:`RunStats`, aligned with the inputs.
@@ -200,6 +237,7 @@ def run_lockstep(
     for policy in policies:
         policy.reset()
     controller.reset()
+    compute_batch = _batch_compute_fn(controller, exact_solves)
 
     states = np.empty((count, t_max + 1, n))
     inputs = np.zeros((count, t_max, m))
@@ -267,7 +305,7 @@ def run_lockstep(
         forced[forced_idx, t] = True
         if len(run_idx):
             tick = time.perf_counter()
-            inputs[run_idx, t] = controller.compute_batch(X[run_idx])
+            inputs[run_idx, t] = compute_batch(X[run_idx])
             controller_seconds[run_idx, t] = (
                 time.perf_counter() - tick
             ) / len(run_idx)
@@ -296,11 +334,14 @@ def lockstep_controller_only(
     controller: Controller,
     initial_states,
     realisations,
+    exact_solves: bool = False,
 ) -> List[RunStats]:
     """Vectorised :func:`~repro.framework.intermittent.run_controller_only`.
 
     κ runs on every row of every step (no monitor, no skipping) — the
     RMPC-only baseline leg of ``evaluate_approaches``, in lockstep.
+    ``exact_solves`` selects the determinism tier exactly as in
+    :func:`run_lockstep`.
 
     Returns:
         ``N`` :class:`RunStats` with all decisions 1 and zero monitor time.
@@ -313,6 +354,7 @@ def lockstep_controller_only(
     W, horizons = _padded_realisations(realisations, n)
     t_max = W.shape[1]
     controller.reset()
+    compute_batch = _batch_compute_fn(controller, exact_solves)
 
     states = np.empty((count, t_max + 1, n))
     inputs = np.zeros((count, t_max, m))
@@ -322,7 +364,7 @@ def lockstep_controller_only(
     for t in range(t_max):
         idx = np.flatnonzero(horizons > t)
         tick = time.perf_counter()
-        inputs[idx, t] = controller.compute_batch(X[idx])
+        inputs[idx, t] = compute_batch(X[idx])
         if len(idx):
             controller_seconds[idx, t] = (time.perf_counter() - tick) / len(idx)
         nxt = system.step_batch(X[idx], inputs[idx, t], W[idx, t])

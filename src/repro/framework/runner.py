@@ -28,6 +28,12 @@ accepting a generator from the factory: a ``policy_factory`` taking one
 positional argument receives a per-episode generator spawned from the
 same root seed (independent of the disturbance stream); zero-argument
 factories keep working unchanged.
+
+One caveat: with a controller that declares ``bitwise_batch = False``
+(the stacked-LP :class:`~repro.controllers.rmpc.RobustMPC`), the
+lockstep engine is *plan-equivalent* rather than bitwise — pass
+``exact_solves=True`` to restore record-for-record parity at
+scalar-solve speed (see :mod:`repro.framework.lockstep`).
 """
 
 from __future__ import annotations
@@ -262,6 +268,13 @@ class BatchRunner:
             (vectorised across episodes; see
             :mod:`repro.framework.lockstep`).  For process fan-out use
             :class:`ParallelBatchRunner` instead.
+        exact_solves: Lockstep only — route non-bitwise controllers
+            (stacked LP solvers like
+            :class:`~repro.controllers.rmpc.RobustMPC`) through the
+            row-by-row scalar path, trading the stacked-solve speedup
+            for bitwise record-for-record parity with the serial engine
+            (the default stacked path is *plan-equivalent*; see the
+            two-tier contract in :mod:`repro.framework.lockstep`).
     """
 
     def __init__(
@@ -274,6 +287,7 @@ class BatchRunner:
         memory_length: int = 1,
         reveal_future: bool = False,
         engine: str = "serial",
+        exact_solves: bool = False,
     ):
         if engine not in ("serial", "lockstep"):
             raise ValueError(
@@ -288,6 +302,7 @@ class BatchRunner:
         self.memory_length = memory_length
         self.reveal_future = reveal_future
         self.engine = engine
+        self.exact_solves = exact_solves
         self._policy_takes_rng = _accepts_rng(policy_factory)
 
     # ------------------------------------------------------------------
@@ -369,6 +384,7 @@ class BatchRunner:
                 skip_input=self.skip_input,
                 memory_length=self.memory_length,
                 reveal_future=self.reveal_future,
+                exact_solves=self.exact_solves,
             )
             for episode, stats in enumerate(stats_list):
                 result.append(self._record(episode, stats))
@@ -439,10 +455,12 @@ class BatchRunner:
 class LockstepEngine(BatchRunner):
     """:class:`BatchRunner` preset to the vectorised lockstep engine.
 
-    Identical records to the serial engine (up to wall-clock fields), one
-    process, no forks — see :mod:`repro.framework.lockstep` for the
-    mechanics and caveats.  Constructor arguments are those of
-    :class:`BatchRunner` (without ``engine``).
+    Identical records to the serial engine for bitwise controllers;
+    plan-equivalent for stacked LP controllers unless
+    ``exact_solves=True`` — see the two-tier determinism contract in
+    :mod:`repro.framework.lockstep` for the mechanics and caveats.
+    Constructor arguments are those of :class:`BatchRunner` (without
+    ``engine``).
     """
 
     def __init__(
@@ -454,6 +472,7 @@ class LockstepEngine(BatchRunner):
         skip_input=None,
         memory_length: int = 1,
         reveal_future: bool = False,
+        exact_solves: bool = False,
     ):
         super().__init__(
             system,
@@ -464,6 +483,7 @@ class LockstepEngine(BatchRunner):
             memory_length=memory_length,
             reveal_future=reveal_future,
             engine="lockstep",
+            exact_solves=exact_solves,
         )
 
 

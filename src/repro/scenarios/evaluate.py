@@ -146,6 +146,7 @@ def evaluate_scenario(
     memory_length: int = 1,
     engine: str = "serial",
     jobs: int = 1,
+    exact_solves: bool = False,
 ) -> ScenarioComparison:
     """Paired baseline-vs-policies comparison on one case study.
 
@@ -163,6 +164,9 @@ def evaluate_scenario(
         memory_length: Disturbance-history window ``r``.
         engine: ``"serial"``, ``"parallel"`` or ``"lockstep"``.
         jobs: Workers for the parallel engine.
+        exact_solves: Lockstep only — scalar solves for non-bitwise
+            controllers (RMPC scenarios), trading the stacked-LP speedup
+            for record-for-record parity with the serial engine.
 
     Returns:
         A :class:`ScenarioComparison` for this scenario.
@@ -195,6 +199,7 @@ def evaluate_scenario(
         memory_length=memory_length,
         engine=engine,
         jobs=jobs,
+        exact_solves=exact_solves,
     )
     return ScenarioComparison(
         scenario=case.name,
@@ -212,6 +217,7 @@ def sweep_scenarios(
     seed: int = 1,
     engine: str = "serial",
     jobs: int = 1,
+    exact_solves: bool = False,
     policies_factory: Optional[Callable[[CaseStudy], Dict[str, SkippingPolicy]]] = None,
 ) -> List[ScenarioComparison]:
     """Run :func:`evaluate_scenario` over (a subset of) the registry.
@@ -241,6 +247,7 @@ def sweep_scenarios(
                 memory_length=1,
                 engine=engine,
                 jobs=jobs,
+                exact_solves=exact_solves,
             )
         )
     return results

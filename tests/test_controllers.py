@@ -180,6 +180,15 @@ class TestRobustMPC:
         assert mpc.is_feasible([0.0, 0.0])
         assert not mpc.is_feasible([4.9, 1.99])
 
+    def test_is_feasible_does_not_count_as_solve(self, di_mpc):
+        """Regression: feasibility probes used to inflate solve_count,
+        polluting the paper's computation-saving accounting."""
+        _system, mpc = di_mpc
+        mpc.reset()
+        mpc.is_feasible([0.0, 0.0])
+        mpc.is_feasible([4.9, 1.99])
+        assert mpc.solve_count == 0
+
     def test_solve_count_and_reset(self, di_mpc):
         _system, mpc = di_mpc
         mpc.reset()
@@ -188,6 +197,23 @@ class TestRobustMPC:
         assert mpc.solve_count == 2
         mpc.reset()
         assert mpc.solve_count == 0
+
+    def test_solve_is_reentrant(self, di_mpc):
+        """Regression: solve() used to write the initial state into the
+        shared ``_b_eq`` buffer in place; the solve must leave the
+        assembled LP data untouched (fork/parallel safety contract)."""
+        _system, mpc = di_mpc
+        before = mpc._b_eq.copy()
+        mpc.solve([1.0, 0.2])
+        mpc.solve([-0.5, 0.1])
+        assert np.array_equal(mpc._b_eq, before)
+
+    def test_constraint_matrices_are_sparse(self, di_mpc):
+        import scipy.sparse as sp
+
+        _system, mpc = di_mpc
+        assert sp.issparse(mpc._A_ub)
+        assert sp.issparse(mpc._A_eq)
 
     def test_state_dimension_check(self, di_mpc):
         _system, mpc = di_mpc

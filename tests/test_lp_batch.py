@@ -8,6 +8,7 @@ replaced in `pontryagin_difference`, `minkowski_sum`, `bounding_box`,
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.geometry import HPolytope
 from repro.utils.lp import (
@@ -16,6 +17,7 @@ from repro.utils.lp import (
     maximize_batch,
     solve_lp,
     solve_lp_batch,
+    stack_cache_stats,
 )
 
 
@@ -61,6 +63,105 @@ class TestSolveLPBatch:
         b = np.array([1.0])
         with pytest.raises(LPError):
             solve_lp_batch(np.array([[1.0, 0.0], [0.0, 1.0]]), a, b)
+
+
+class TestSolveLPBatchEqualities:
+    """The generalised stack: equality blocks and per-block RHS vectors
+    (what RobustMPC.solve_batch builds its Eq.-5 stack from)."""
+
+    def test_shared_equalities_match_scalar(self, pentagon, rng):
+        # Pin x0 + x1 = 0.1 in every block.
+        a_eq = np.array([[1.0, 1.0]])
+        b_eq = np.array([0.1])
+        objectives = rng.normal(size=(5, 2))
+        batch = solve_lp_batch(
+            objectives, pentagon.H, pentagon.h, a_eq=a_eq, b_eq=b_eq
+        )
+        for c, sol in zip(objectives, batch):
+            scalar = solve_lp(
+                c, a_ub=pentagon.H, b_ub=pentagon.h, a_eq=a_eq, b_eq=b_eq
+            )
+            assert sol.value == pytest.approx(scalar.value, abs=1e-9)
+            assert np.allclose(a_eq @ sol.x, b_eq, atol=1e-8)
+
+    def test_per_block_equality_rhs(self, pentagon, rng):
+        # Same equality row, a different pin per block — the RMPC
+        # initial-state pattern.
+        a_eq = np.array([[1.0, 0.0]])
+        pins = np.linspace(-0.3, 0.4, 6).reshape(-1, 1)
+        objectives = np.tile(rng.normal(size=(1, 2)), (6, 1))
+        batch = solve_lp_batch(
+            objectives, pentagon.H, pentagon.h, a_eq=a_eq, b_eq=pins
+        )
+        for pin, sol in zip(pins, batch):
+            scalar = solve_lp(
+                objectives[0], a_ub=pentagon.H, b_ub=pentagon.h,
+                a_eq=a_eq, b_eq=pin,
+            )
+            assert sol.value == pytest.approx(scalar.value, abs=1e-9)
+            assert sol.x[0] == pytest.approx(pin[0], abs=1e-8)
+
+    def test_per_block_inequality_rhs(self, rng):
+        # Boxes of different sizes sharing one constraint matrix.
+        box = HPolytope.from_box([-1.0, -1.0], [1.0, 1.0])
+        scales = np.array([1.0, 2.0, 0.5])
+        b_ub = np.outer(scales, box.h)
+        direction = np.array([[-1.0, -1.0]] * 3)
+        batch = solve_lp_batch(direction, box.H, b_ub)
+        for scale, sol in zip(scales, batch):
+            assert sol.value == pytest.approx(-2.0 * scale, abs=1e-8)
+
+    def test_sparse_shared_block_accepted(self, pentagon, rng):
+        objectives = rng.normal(size=(4, 2))
+        sparse_h = sp.csr_matrix(pentagon.H)
+        batch = solve_lp_batch(objectives, sparse_h, pentagon.h)
+        for c, sol in zip(objectives, batch):
+            scalar = solve_lp(c, a_ub=pentagon.H, b_ub=pentagon.h)
+            assert sol.value == pytest.approx(scalar.value, abs=1e-8)
+
+    def test_k1_delegates_with_equalities(self, pentagon):
+        a_eq = np.array([[0.0, 1.0]])
+        [sol] = solve_lp_batch(
+            np.array([[1.0, 0.0]]), pentagon.H, pentagon.h,
+            a_eq=a_eq, b_eq=np.array([[0.05]]),
+        )
+        scalar = solve_lp(
+            [1.0, 0.0], a_ub=pentagon.H, b_ub=pentagon.h,
+            a_eq=a_eq, b_eq=[0.05],
+        )
+        assert sol.value == pytest.approx(scalar.value, abs=1e-10)
+
+    def test_eq_without_rhs_rejected(self, pentagon):
+        with pytest.raises(ValueError, match="together"):
+            solve_lp_batch(
+                np.ones((3, 2)), pentagon.H, pentagon.h,
+                a_eq=np.array([[1.0, 0.0]]),
+            )
+
+    def test_per_block_rhs_shape_validation(self, pentagon):
+        with pytest.raises(ValueError, match="b_ub"):
+            solve_lp_batch(
+                np.ones((3, 2)), pentagon.H,
+                np.tile(pentagon.h, (2, 1)),  # 2 blocks of RHS, 3 objectives
+            )
+        with pytest.raises(ValueError, match="b_eq"):
+            solve_lp_batch(
+                np.ones((3, 2)), pentagon.H, pentagon.h,
+                a_eq=np.array([[1.0, 0.0]]), b_eq=np.zeros((3, 2)),
+            )
+
+    def test_stack_cache_reuses_same_matrices(self, pentagon, rng):
+        objectives = rng.normal(size=(4, 2))
+        solve_lp_batch(objectives, pentagon.H, pentagon.h)  # warm k=4
+        before = stack_cache_stats()
+        solve_lp_batch(rng.normal(size=(4, 2)), pentagon.H, pentagon.h)
+        hit = stack_cache_stats()
+        assert hit["hits"] == before["hits"] + 1
+        assert hit["misses"] == before["misses"]
+        # A different batch size is a different stack: miss, not hit.
+        solve_lp_batch(rng.normal(size=(5, 2)), pentagon.H, pentagon.h)
+        miss = stack_cache_stats()
+        assert miss["misses"] == hit["misses"] + 1
 
 
 class TestMaximizeBatch:
