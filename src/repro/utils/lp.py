@@ -24,11 +24,78 @@ __all__ = [
     "maximize",
     "solve_lp_batch",
     "maximize_batch",
+    "stack_cache_stats",
 ]
 
 
 class LPError(RuntimeError):
     """Raised when an LP that was expected to solve does not."""
+
+
+#: Cached block-diagonal stacks keyed on ``(id(a_ub), id(a_eq), k)``.
+#: Repeated stacked solves over the same shared block matrices (the
+#: pattern of :meth:`repro.controllers.rmpc.RobustMPC.solve_batch`, which
+#: only rewrites the initial-state equality RHS between calls) reuse the
+#: CSR stack instead of rebuilding it.  Entries keep strong references to
+#: the source matrices, which also pins the ids they are keyed on;
+#: LRU-bounded (hits refresh recency) so long-lived processes sweeping
+#: many one-shot (matrix, batch size) pairs — the geometry layer's
+#: ephemeral polytopes — can neither grow it without bound nor evict a
+#: constantly-hit controller entry.
+_STACK_CACHE: dict = {}
+_STACK_CACHE_MAX = 64
+_STACK_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def stack_cache_stats() -> dict:
+    """Hit/miss counters of the block-diagonal stack cache (for tests
+    and benchmarks; counters are process-lifetime cumulative)."""
+    return dict(_STACK_CACHE_STATS)
+
+
+def _as_csr_block(matrix):
+    if sp.issparse(matrix):
+        return matrix.tocsr()
+    return sp.csr_matrix(np.asarray(matrix, dtype=float))
+
+
+def _stacked_blocks(a_ub, a_eq, k: int):
+    """``diag(a_ub, …)`` and ``diag(a_eq, …)`` as CSR, cached per (ids, k)."""
+    key = (id(a_ub), None if a_eq is None else id(a_eq), k)
+    cached = _STACK_CACHE.pop(key, None)
+    if cached is not None:
+        _STACK_CACHE_STATS["hits"] += 1
+        _STACK_CACHE[key] = cached  # re-insert: LRU recency refresh
+        return cached[0], cached[1]
+    _STACK_CACHE_STATS["misses"] += 1
+    block_ub = _as_csr_block(a_ub)
+    stacked_ub = sp.block_diag([block_ub] * k, format="csr")
+    stacked_eq = None
+    if a_eq is not None:
+        stacked_eq = sp.block_diag([_as_csr_block(a_eq)] * k, format="csr")
+    while len(_STACK_CACHE) >= _STACK_CACHE_MAX:
+        _STACK_CACHE.pop(next(iter(_STACK_CACHE)))
+    _STACK_CACHE[key] = (stacked_ub, stacked_eq, a_ub, a_eq)
+    return stacked_ub, stacked_eq
+
+
+def _stack_rhs(rhs, k: int, rows: int, name: str) -> np.ndarray:
+    """Tile a shared ``(rows,)`` RHS or flatten a per-block ``(k, rows)`` one."""
+    arr = np.asarray(rhs, dtype=float)
+    if arr.ndim == 1:
+        if arr.size != rows:
+            raise ValueError(
+                f"{name} has {arr.size} entries, constraints have {rows} rows"
+            )
+        return np.tile(arr, k)
+    if arr.ndim == 2:
+        if arr.shape != (k, rows):
+            raise ValueError(
+                f"per-block {name} must have shape ({k}, {rows}), "
+                f"got {arr.shape}"
+            )
+        return arr.reshape(-1)
+    raise ValueError(f"{name} must be 1-D (shared) or 2-D (per-block)")
 
 
 @dataclass(frozen=True)
@@ -101,45 +168,71 @@ def lp_feasible(a_ub, b_ub, a_eq=None, b_eq=None) -> bool:
     raise LPError(f"feasibility LP failed (status={res.status}): {res.message}")
 
 
-def solve_lp_batch(objectives, a_ub, b_ub) -> List[LPSolution]:
-    """Minimise every row of ``objectives`` over one shared feasible region.
+def solve_lp_batch(objectives, a_ub, b_ub, a_eq=None, b_eq=None) -> List[LPSolution]:
+    """Minimise every row of ``objectives`` over shared block constraints.
 
-    The ``k`` independent problems ``min c_i @ x  s.t.  a_ub x <= b_ub``
-    are assembled into a single block-diagonal LP (variables
-    ``[x_1 … x_k]``, constraints ``diag(a_ub, …, a_ub)``) and handed to
-    HiGHS in one call — replacing a Python loop of ``k`` ``linprog``
-    calls, which is what the per-facet support computations of
-    :class:`repro.geometry.HPolytope` used to do.  The constraint matrix
-    is built sparse, so memory stays ``O(k · nnz(a_ub))``.
+    The ``k`` independent problems ``min c_i @ x  s.t.  a_ub x <= b_ub_i,
+    a_eq x = b_eq_i`` are assembled into a single block-diagonal LP
+    (variables ``[x_1 … x_k]``, constraints ``diag(a_ub, …, a_ub)`` and
+    ``diag(a_eq, …, a_eq)``) and handed to HiGHS in one call — replacing
+    a Python loop of ``k`` ``linprog`` calls.  The constraint matrices
+    are shared across blocks; the right-hand sides may be shared (1-D,
+    tiled to every block) or per-block (2-D ``(k, rows)``), which is what
+    lets :meth:`repro.controllers.rmpc.RobustMPC.solve_batch` stack ``k``
+    Eq.-5 problems that differ only in their initial-state equalities.
+
+    The stacks are built sparse (memory ``O(k · nnz)``) and cached per
+    ``(a_ub, a_eq, k)`` identity, so repeated calls over the same shared
+    matrices — the per-step pattern of the lockstep engine — only rewrite
+    the RHS vectors.
 
     Because the blocks are fully decoupled, the stacked optimum restricted
-    to block ``i`` is exactly the optimum of problem ``i``.
+    to block ``i`` attains exactly the optimal *value* of problem ``i``
+    (when an LP has multiple optima the returned vertex may differ from
+    the one a scalar solve picks — see the two-tier determinism contract
+    in :mod:`repro.framework.lockstep`).
+
+    Args:
+        objectives: ``(k, n)`` per-block cost rows.
+        a_ub: Shared inequality block (dense or scipy sparse).
+        b_ub: ``(rows,)`` shared or ``(k, rows)`` per-block RHS.
+        a_eq: Optional shared equality block.
+        b_eq: ``(rows_eq,)`` shared or ``(k, rows_eq)`` per-block RHS;
+            required iff ``a_eq`` is given.
 
     Raises:
-        LPError: If the stacked LP fails.  Any single unbounded block (or
-            the shared region being empty) makes the whole stack fail, so
-            per-block failure attribution is lost — callers that need it
-            should fall back to scalar :func:`solve_lp` calls.
+        LPError: If the stacked LP fails.  Any single infeasible or
+            unbounded block makes the whole stack fail, so per-block
+            failure attribution is lost — callers that need it should
+            fall back to scalar :func:`solve_lp` calls.
     """
+    if (a_eq is None) != (b_eq is None):
+        raise ValueError("a_eq and b_eq must be given together")
     C = np.atleast_2d(np.asarray(objectives, dtype=float))
     k = C.shape[0]
     if k == 0:
         return []
-    if k == 1:
-        return [solve_lp(C[0], a_ub=a_ub, b_ub=b_ub)]
-    A = np.asarray(a_ub, dtype=float)
-    b = np.asarray(b_ub, dtype=float)
-    n = A.shape[1]
+    rows, n = a_ub.shape if sp.issparse(a_ub) else np.asarray(a_ub).shape
     if C.shape[1] != n:
         raise ValueError(
             f"objectives have {C.shape[1]} columns, constraints have {n}"
         )
-    stacked_A = sp.block_diag([sp.csr_matrix(A)] * k, format="csr")
-    stacked_b = np.tile(b, k)
+    if k == 1:
+        b = np.asarray(b_ub, dtype=float).reshape(-1)
+        be = None if b_eq is None else np.asarray(b_eq, dtype=float).reshape(-1)
+        return [solve_lp(C[0], a_ub=a_ub, b_ub=b, a_eq=a_eq, b_eq=be)]
+    stacked_A, stacked_A_eq = _stacked_blocks(a_ub, a_eq, k)
+    stacked_b = _stack_rhs(b_ub, k, rows, "b_ub")
+    stacked_b_eq = None
+    if a_eq is not None:
+        rows_eq = a_eq.shape[0]
+        stacked_b_eq = _stack_rhs(b_eq, k, rows_eq, "b_eq")
     res = linprog(
         C.reshape(-1),
         A_ub=stacked_A,
         b_ub=stacked_b,
+        A_eq=stacked_A_eq,
+        b_eq=stacked_b_eq,
         bounds=[(None, None)] * (n * k),
         method="highs",
     )
