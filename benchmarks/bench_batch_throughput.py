@@ -22,23 +22,16 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import time
 
 import numpy as np
 
+from machine import visible_cpus
+
 from repro.acc import acc_disturbance_factory, build_case_study
 from repro.framework import BatchRunner, ParallelBatchRunner
 from repro.skipping import AlwaysSkipPolicy
-
-
-def visible_cpus() -> int:
-    """CPUs this process may actually use (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:
-        return os.cpu_count() or 1
 
 
 def run_benchmark(

@@ -42,38 +42,17 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import sys
 import time
 
 import numpy as np
-import scipy
+
+from machine import machine_info, visible_cpus
 
 from repro.acc import acc_disturbance_factory, build_case_study
 from repro.controllers import LinearFeedback, lqr_gain, verify_plan_equivalence
 from repro.framework import BatchRunner, ParallelBatchRunner
 from repro.skipping import AlwaysSkipPolicy
-
-
-def visible_cpus() -> int:
-    """CPUs this process may actually use (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:
-        return os.cpu_count() or 1
-
-
-def machine_info() -> dict:
-    """Environment fingerprint for the perf-trajectory artifact."""
-    return {
-        "cpus": visible_cpus(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "scipy": scipy.__version__,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
 
 
 def _configurations(case) -> dict:

@@ -1,0 +1,214 @@
+"""Grid-sweep throughput of the declarative experiment API.
+
+Standalone script (not a pytest-benchmark kernel) so CI can smoke it at
+tiny scale and operators can size sweeps::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py \
+        --scenarios thermal pendulum --cases 16 --horizon 50
+
+It expands a (scenarios × axis points) grid — the generalised Table-I
+shape — and times the full sweep under cell sharding at ``jobs=1`` and
+``jobs=2``, lockstep inside every cell.  On a one-core container the
+sharded row is judged by **determinism, not speedup**: the sharding
+contract says whole grid cells run inside single workers, so a
+``jobs=2`` sweep must reproduce the ``jobs=1`` run's deterministic row
+table exactly (cross-worker plan-equivalence comes for free — equal
+rows imply equal optimal costs and zero violations).  The
+``lockstep-exact`` audit row additionally re-runs the grid with
+``exact_solves=True`` and must match the serial-engine reference record
+for record.  Any failed check exits non-zero.
+
+Every run writes a ``BENCH_sweep.json`` perf-trajectory artifact
+(per-row cells/sec + grid shape + machine info, like
+``BENCH_lockstep.json``) so successive commits can be compared; disable
+with ``--artifact ''``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from machine import machine_info, visible_cpus
+
+from repro.experiments import (
+    ExecutionConfig,
+    ParameterAxis,
+    SweepPlan,
+    run_sweep,
+)
+
+
+def run_benchmark(
+    scenario_names,
+    axis_field: str,
+    axis_values,
+    cases: int,
+    horizon: int,
+    seed: int,
+) -> dict:
+    """Time the grid under each execution configuration and gate it.
+
+    Every grid point's certified sets are synthesised once up front (the
+    warm-up below), so the timed rows measure sweep execution, not set
+    synthesis — and forked cell workers inherit the warm builder cache
+    through the process image.
+    """
+    from repro.scenarios import build_case_study, registry
+
+    axis = ParameterAxis(axis_field, tuple(axis_values))
+    plan = SweepPlan.for_scenarios(
+        scenario_names,
+        axes=(axis,),
+        num_cases=cases,
+        horizon=horizon,
+        seed=seed,
+    )
+    cells = len(plan.cells())
+
+    tick = time.perf_counter()
+    for cell in plan.cells():
+        spec = registry.get(cell.experiment.scenario)
+        overrides = dict(cell.overrides)
+        build_case_study(spec.with_overrides(**overrides) if overrides else spec)
+    warmup_seconds = time.perf_counter() - tick
+
+    configurations = [
+        ("lockstep", ExecutionConfig(engine="lockstep", jobs=1)),
+        ("lockstep-jobs2", ExecutionConfig(engine="lockstep", jobs=2)),
+        ("serial", ExecutionConfig(engine="serial", jobs=1)),
+        (
+            "lockstep-exact-jobs2",
+            ExecutionConfig(engine="lockstep", jobs=2, exact_solves=True),
+        ),
+    ]
+
+    rows = []
+    results = {}
+    for name, execution in configurations:
+        tick = time.perf_counter()
+        result = run_sweep(plan, execution)
+        seconds = time.perf_counter() - tick
+        results[name] = result
+        if name == "lockstep-jobs2":
+            # Sharding contract: whole cells per worker => the sharded
+            # sweep reproduces the in-process run row for row.
+            contract = "cross-worker determinism"
+            ok = (
+                result.deterministic_rows()
+                == results["lockstep"].deterministic_rows()
+            )
+        elif name == "lockstep-exact-jobs2":
+            # Audit tier: scalar solves restore record-for-record parity
+            # with the serial engine, even across cell workers.
+            contract = "bitwise (exact solves)"
+            ok = (
+                result.deterministic_rows()
+                == results["serial"].deterministic_rows()
+            )
+        else:
+            contract = "reference"
+            ok = True
+        ok = ok and result.always_safe
+        rows.append(
+            {
+                "configuration": name,
+                "engine": execution.engine,
+                "jobs": execution.jobs,
+                "exact_solves": execution.exact_solves,
+                "contract": contract,
+                "seconds": seconds,
+                "cells_per_sec": cells / seconds,
+                "speedup": rows[0]["seconds"] / seconds if rows else 1.0,
+                "violation_free": result.always_safe,
+                "ok": ok,
+            }
+        )
+    return {
+        "scenarios": list(scenario_names),
+        "axis": {"field": axis_field, "values": list(axis_values)},
+        "grid_shape": list(plan.grid_shape),
+        "cells": cells,
+        "cases": cases,
+        "horizon": horizon,
+        "seed": seed,
+        "cpus": visible_cpus(),
+        "warmup_seconds": warmup_seconds,
+        "machine": machine_info(),
+        "rows": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenarios", nargs="+", default=["thermal", "pendulum"],
+        metavar="NAME", help="registry scenarios forming the grid rows",
+    )
+    parser.add_argument(
+        "--axis-field", default="horizon",
+        help="scenario-spec field the axis overrides",
+    )
+    parser.add_argument(
+        "--axis-values", nargs="+", type=int, default=[8, 12],
+        help="axis points (the grid is scenarios x these values)",
+    )
+    parser.add_argument("--cases", type=int, default=16)
+    parser.add_argument("--horizon", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI scale: 2 scenarios x 2 axis points, 4 cases x 12 steps",
+    )
+    parser.add_argument(
+        "--artifact", default="BENCH_sweep.json",
+        help="perf-trajectory artifact path ('' disables writing)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.scenarios = args.scenarios[:2]
+        args.axis_values = args.axis_values[:2]
+        args.cases = 4
+        args.horizon = 12
+
+    report = run_benchmark(
+        args.scenarios, args.axis_field, args.axis_values,
+        args.cases, args.horizon, args.seed,
+    )
+    print(
+        f"sweep benchmark: {'x'.join(map(str, report['grid_shape']))} grid "
+        f"({report['cells']} cells), {report['cases']} cases x "
+        f"{report['horizon']} steps, {report['cpus']} visible CPU(s); "
+        f"set synthesis warm-up {report['warmup_seconds']:.2f}s"
+    )
+    print(
+        f"{'configuration':<22} {'jobs':>4} {'sec':>8} {'cells/s':>8} "
+        f"{'speedup':>8} {'contract':>26} {'ok':>5}"
+    )
+    for row in report["rows"]:
+        print(
+            f"{row['configuration']:<22} {row['jobs']:>4} "
+            f"{row['seconds']:>8.2f} {row['cells_per_sec']:>8.2f} "
+            f"{row['speedup']:>7.2f}x {row['contract']:>26} "
+            f"{str(row['ok']):>5}"
+        )
+    if args.artifact:
+        with open(args.artifact, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.artifact}")
+    failed = [row for row in report["rows"] if not row["ok"]]
+    if failed:
+        for row in failed:
+            print(
+                f"ERROR: {row['configuration']} failed its "
+                f"{row['contract']} check"
+                + ("" if row["violation_free"] else " (safety violation)")
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,9 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.traffic` — SUMO-substitute simulator and fuel meter;
 * :mod:`repro.acc` — the Sec. IV adaptive-cruise-control case study;
 * :mod:`repro.scenarios` — scenario zoo: registry + builder turning any
-  constrained LTI plant into a full paper-style benchmark.
+  constrained LTI plant into a full paper-style benchmark;
+* :mod:`repro.experiments` — declarative experiment API: specs,
+  parameter axes, sharded grid sweeps.
 """
 
 from repro.framework import (

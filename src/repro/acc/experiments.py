@@ -13,18 +13,18 @@ Provides, for every experiment id (``overall``, ``ex1`` … ``ex10``):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.acc.case_study import ACCCaseStudy, build_case_study
 from repro.acc.env import ACCSkippingEnv
-from repro.framework.evaluation import paired_evaluation
+from repro.framework.evaluation import default_engine
 from repro.rl.dqn import DQNConfig, DoubleDQNAgent
 from repro.rl.schedule import LinearSchedule
 from repro.rl.training import TrainingHistory, train_dqn
-from repro.skipping.base import AlwaysSkipPolicy, SkippingPolicy
+from repro.skipping.base import SkippingPolicy
 from repro.skipping.drl import DRLSkippingPolicy
 from repro.traffic.patterns import experiment_pattern
 
@@ -33,6 +33,7 @@ __all__ = [
     "case_study_for_experiment",
     "train_skipping_agent",
     "acc_disturbance_factory",
+    "table1_axis",
     "ApproachStats",
     "ComparisonResult",
     "evaluate_approaches",
@@ -258,6 +259,28 @@ class ComparisonResult:
     _stats = stats
 
 
+def table1_axis(experiments: tuple = ("ex1", "ex2", "ex3", "ex4", "ex5")):
+    """Table I's vf-range sweep as a declarative parameter axis.
+
+    Each point is a paper experiment id; the ACC pattern workload maps it
+    onto both the front-vehicle pattern *and* its ``vf_range`` (the
+    disturbance set, hence ``XI``/``X'``, are re-synthesised per point —
+    cache-correctly, because :class:`~repro.acc.model.ACCParameters` keys
+    the case-study cache).  Use it in a plan::
+
+        plan = SweepPlan(
+            experiments=[ExperimentSpec(scenario="acc", pattern="overall",
+                                        approaches=("bang_bang",))],
+            axes=[table1_axis()],
+        )
+    """
+    from repro.experiments import ParameterAxis
+
+    for experiment in experiments:
+        experiment_vf_range(experiment)  # validate ids eagerly
+    return ParameterAxis(name="experiment", values=tuple(experiments))
+
+
 def evaluate_approaches(
     case: ACCCaseStudy,
     experiment: str,
@@ -272,6 +295,14 @@ def evaluate_approaches(
     exact_solves: bool = False,
 ) -> ComparisonResult:
     """Run the paired three-way comparison of the paper's Sec. IV.
+
+    Deprecated thin client of :func:`repro.experiments.run_experiment`
+    (metric-identical: the ACC pattern workload draws the pattern,
+    initial states and realisations in the historical order).  New code
+    should build an :class:`~repro.experiments.spec.ExperimentSpec` with
+    ``scenario="acc"`` and ``pattern=experiment`` directly — that adds
+    parameter axes (:func:`table1_axis`) and sharded grids this wrapper
+    never grew.
 
     Each case draws an initial state in ``X'`` and one front-vehicle
     trace; all approaches see the identical realisation.
@@ -310,24 +341,11 @@ def evaluate_approaches(
     Returns:
         A :class:`ComparisonResult`.
     """
-    if engine not in (None, "serial", "parallel", "lockstep"):
-        raise ValueError(
-            f"engine must be 'serial', 'parallel' or 'lockstep', got {engine!r}"
-        )
-    if num_cases < 1:
-        raise ValueError("num_cases must be >= 1")
+    from repro.experiments import ExecutionConfig, ExperimentSpec, run_experiment
+
+    engine = default_engine(engine, jobs)  # validates; None = legacy inference
     if engine == "serial":
         jobs = 1
-    rng = np.random.default_rng(seed)
-    pattern = experiment_pattern(experiment, rng, dt=case.params.delta)
-    initial_states = case.sample_initial_states(rng, num_cases)
-    # Pre-draw every realisation in case order (identical generator
-    # consumption to the historical serial loop) so the fan-out below is
-    # free to run cases in any order on any worker.
-    realisations = [
-        case.coords.disturbance_from_vf(pattern.generate(horizon))
-        for _ in range(num_cases)
-    ]
 
     policy_drl = drl_policy
     if policy_drl is None and agent is not None:
@@ -338,54 +356,39 @@ def evaluate_approaches(
             disturbance_scale=max(case.params.w_bound, 1e-6),
         )
 
-    approaches = {"rmpc_only": None, "bang_bang": AlwaysSkipPolicy()}
-    if policy_drl is not None:
-        approaches["drl"] = policy_drl
-
-    def metrics_of(stats) -> tuple:
-        return (
-            case.fuel_of_run(stats),
-            case.raw_energy_of_run(stats),
-            stats.skip_rate,
-            stats.forced_steps,
-            1e3 * stats.mean_controller_time,
-            1e3 * stats.mean_monitor_time,
-        )
-
-    # The engine dispatch (serial case-major loop, forked fan-out,
-    # approach-major lockstep) lives in the scenario-agnostic
-    # paired_evaluation; this harness only supplies the ACC metrics.
-    collected = paired_evaluation(
-        case.system,
-        case.mpc,
-        lambda: case.make_monitor(strict=True),
-        approaches,
-        initial_states,
-        realisations,
-        metrics_of,
-        skip_input=case.skip_input,
+    approaches = ("bang_bang",) + (() if policy_drl is None else ("drl",))
+    spec = ExperimentSpec(
+        # The case itself (not just its parameters): the ACC workload
+        # then evaluates exactly the object the caller built — customised
+        # controllers/monitors and non-default parameter sets included.
+        scenario=case,
+        pattern=experiment,
+        approaches=approaches,
+        num_cases=num_cases,
+        horizon=horizon,
+        seed=seed,
         memory_length=memory_length,
-        engine=engine if engine is not None else (
-            "parallel" if jobs != 1 else "serial"
-        ),
-        jobs=jobs,
-        exact_solves=exact_solves,
+        policies=None if policy_drl is None else {"drl": policy_drl},
+    )
+    cell = run_experiment(
+        spec,
+        ExecutionConfig(engine=engine, jobs=jobs, exact_solves=exact_solves),
     )
 
     def finalize(name: str) -> ApproachStats:
-        columns = list(zip(*collected[name]))
+        stats = cell.approaches[name]
         return ApproachStats(
-            fuel=np.array(columns[0]),
-            energy=np.array(columns[1]),
-            skip_rate=np.array(columns[2]),
-            forced_steps=np.array(columns[3]),
-            mean_controller_ms=float(np.mean(columns[4])),
-            mean_monitor_ms=float(np.mean(columns[5])),
+            fuel=stats.metrics["fuel"],
+            energy=stats.metrics["energy"],
+            skip_rate=stats.metrics["skip_rate"],
+            forced_steps=stats.metrics["forced_steps"],
+            mean_controller_ms=stats.mean_controller_ms,
+            mean_monitor_ms=stats.mean_monitor_ms,
         )
 
     return ComparisonResult(
         experiment=experiment,
-        rmpc_only=finalize("rmpc_only"),
+        rmpc_only=finalize("baseline"),
         bang_bang=finalize("bang_bang"),
-        drl=finalize("drl") if "drl" in approaches else None,
+        drl=finalize("drl") if policy_drl is not None else None,
     )

@@ -111,9 +111,39 @@ def _cmd_experiment(args) -> int:
 
 def _resolve_engine(args) -> str:
     """The effective engine: explicit ``--engine`` wins, else ``--jobs``."""
-    if args.engine is not None:
-        return args.engine
-    return "parallel" if args.jobs != 1 else "serial"
+    from repro.framework.evaluation import default_engine
+
+    return default_engine(args.engine, args.jobs)
+
+
+def _parse_axis(text: str):
+    """``name=lo:hi:n`` → a numeric :class:`ParameterAxis`.
+
+    ``name`` is the overridden scenario-spec field; integral values
+    collapse to ``int`` so integer fields (e.g. the RMPC ``horizon``)
+    stay integers.
+    """
+    import argparse as _argparse
+
+    from repro.experiments import ParameterAxis
+
+    try:
+        name, spec = text.split("=", 1)
+        lo_text, hi_text, num_text = spec.split(":")
+        lo, hi, num = float(lo_text), float(hi_text), int(num_text)
+    except ValueError:
+        raise _argparse.ArgumentTypeError(
+            f"axis must look like 'field=lo:hi:n', got {text!r}"
+        ) from None
+    if not name or num < 1:
+        raise _argparse.ArgumentTypeError(
+            f"axis must look like 'field=lo:hi:n' with n >= 1, got {text!r}"
+        )
+    axis = ParameterAxis.linspace(name, lo, hi, num)
+    values = tuple(
+        int(v) if float(v).is_integer() else float(v) for v in axis.values
+    )
+    return ParameterAxis(name=name, values=values)
 
 
 def _cmd_scenarios(args) -> int:
@@ -152,39 +182,51 @@ def _cmd_scenarios(args) -> int:
 
 def _cmd_sweep(args) -> int:
     from repro import scenarios
+    from repro.experiments import ExecutionConfig, SweepPlan, run_sweep
 
     names = args.scenarios or scenarios.list_scenarios()
-    print(
-        f"cross-scenario sweep: {args.cases} cases x {args.horizon} steps, "
-        f"engine={args.engine}, seed={args.seed}\n"
-    )
-    print(
-        f"{'scenario':<14} {'approach':<10} {'saving':>8} {'skip%':>6} "
-        f"{'forced':>7} {'max viol':>9} {'safe':>5}"
-    )
-    all_safe = True
-    for result in scenarios.sweep_scenarios(
+    axes = tuple(args.axis or ())
+    plan = SweepPlan.for_scenarios(
         names,
+        axes=axes,
         num_cases=args.cases,
         horizon=args.horizon,
         seed=args.seed,
-        engine=args.engine,
-        jobs=args.jobs,
-        exact_solves=args.exact_solves,
-    ):
-        all_safe &= result.always_safe
-        for approach in result.approaches:
-            stats = result.stats(approach)
-            approach_safe = float(stats.max_violation.max()) <= 0.0
-            print(
-                f"{result.scenario:<14} {approach:<10} "
-                f"{100 * result.energy_saving(approach).mean():7.1f}% "
-                f"{100 * stats.skip_rate.mean():5.0f}% "
-                f"{stats.forced_steps.mean():7.1f} "
-                f"{stats.max_violation.max():9.2e} "
-                f"{str(approach_safe):>5}"
-            )
-    if not all_safe:
+    )
+    execution = ExecutionConfig(
+        engine=args.engine, jobs=args.jobs, exact_solves=args.exact_solves
+    )
+    cells = len(plan.cells())
+    print(
+        f"grid sweep: {len(names)} scenario(s)"
+        + "".join(f" x {len(axis)} {axis.name}" for axis in axes)
+        + f" = {cells} cell(s), {args.cases} cases x {args.horizon} steps, "
+        f"engine={args.engine}, jobs={args.jobs}, seed={args.seed}\n"
+    )
+    result = run_sweep(plan, execution)
+    print(
+        f"{'cell':<26} {'approach':<10} {'saving':>8} {'skip%':>6} "
+        f"{'forced':>7} {'max viol':>9} {'safe':>5}"
+    )
+    for row in result.rows():
+        if row["approach"] == "baseline":
+            continue
+        print(
+            f"{(row['scenario'] + ('@' + row['point'] if row['point'] else '')):<26} "
+            f"{row['approach']:<10} "
+            f"{100 * row['energy_saving']:7.1f}% "
+            f"{100 * row['mean_skip_rate']:5.0f}% "
+            f"{row['mean_forced_steps']:7.1f} "
+            f"{row['max_violation']:9.2e} "
+            f"{str(row['safe']):>5}"
+        )
+    if args.out:
+        if args.out.endswith(".csv"):
+            result.to_csv(args.out)
+        else:
+            result.to_json(args.out)
+        print(f"\nsweep table written to {args.out}")
+    if not result.always_safe:
         print("\nERROR: a trajectory left the safe set under the monitor")
         return 1
     print("\nall scenarios safe under the certified monitor")
@@ -394,28 +436,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_scn.set_defaults(func=_cmd_scenarios)
 
     p_swp = sub.add_parser(
-        "sweep", help="Table-I-style paired sweep across scenarios"
+        "sweep", help="Table-I-style paired grid sweep across scenarios"
     )
     p_swp.add_argument(
         "--scenarios", nargs="+", default=None, metavar="NAME",
         help="scenario subset (default: every registered scenario)",
+    )
+    p_swp.add_argument(
+        "--axis", type=_parse_axis, action="append", default=None,
+        metavar="FIELD=LO:HI:N",
+        help="parameter axis: N evenly-spaced overrides of a scenario-spec "
+             "field (e.g. 'horizon=6:12:3', 'state_weight=0.5:2:4'); "
+             "repeatable — multiple axes form their cartesian product",
     )
     p_swp.add_argument("--cases", type=int, default=8)
     p_swp.add_argument("--horizon", type=int, default=50)
     p_swp.add_argument("--seed", type=int, default=1)
     p_swp.add_argument(
         "--jobs", type=_job_count, default=1,
-        help="worker processes for the parallel engine (0 = one per CPU)",
+        help="worker processes (0 = one per CPU): grid cells are sharded "
+             "whole across workers for the serial/lockstep engines; for "
+             "the parallel engine this is the per-case fan-out width",
     )
     p_swp.add_argument(
         "--engine", choices=("serial", "parallel", "lockstep"),
         default="serial",
-        help="execution engine for every scenario's paired batch",
+        help="execution engine inside every grid cell",
     )
     p_swp.add_argument(
         "--exact-solves", action="store_true", dest="exact_solves",
         help="lockstep only: scalar MPC solves for record-for-record "
              "parity with the serial engine",
+    )
+    p_swp.add_argument(
+        "--out", default=None,
+        help="write the sweep table to this path (.csv for the flat "
+             "aggregate table, else full-fidelity JSON)",
     )
     p_swp.set_defaults(func=_cmd_sweep)
     return parser

@@ -1,0 +1,81 @@
+"""Execution configuration for experiments and sweeps.
+
+:class:`ExecutionConfig` separates *what* a sweep computes (the
+:class:`~repro.experiments.spec.ExperimentSpec` grid — which fully
+determines every deterministic metric) from *how* it is computed:
+which per-cell engine advances the episodes, how many worker processes
+shard the grid, and which determinism tier MPC solves run under.
+
+Sharding contract (decided in PR 4, recorded in ROADMAP.md): grid cells
+are sharded whole — one cell's entire paired batch runs inside one
+worker, lockstep inside — so a ``jobs=k`` sweep executes bit-identical
+per-cell computations to ``jobs=1`` and only the transport differs.
+Cross-*engine* comparisons of RMPC scenarios remain plan-equivalent
+(equal optimal cost ≤ 1e-9, feasible inputs, zero violations), not
+bitwise; request ``exact_solves=True`` for record-for-record audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framework.evaluation import ENGINES
+
+__all__ = ["ExecutionConfig", "SHARD_STRATEGIES"]
+
+#: Recognised shard strategies (see :attr:`ExecutionConfig.shard`).
+SHARD_STRATEGIES = ("auto", "cell", "none")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a sweep's grid cells are executed.
+
+    Attributes:
+        engine: Per-cell episode engine — ``"serial"``, ``"parallel"``
+            (per-case fork fan-out *inside* one cell) or ``"lockstep"``
+            (all cases of one approach advance as a single state matrix;
+            the single-core fast path).
+        jobs: Worker processes (``0`` = one per CPU).  Under cell
+            sharding this is the number of grid-cell workers; under the
+            ``"parallel"`` engine it is the per-case fan-out width.
+        exact_solves: Lockstep only — keep MPC solves on the scalar path
+            for record-for-record parity with the serial engine instead
+            of the plan-equivalent stacked solve.
+        shard: ``"cell"`` — fan whole grid cells out over
+            :func:`repro.utils.parallel.fork_map` workers;
+            ``"none"`` — evaluate cells sequentially in-process (``jobs``
+            then only feeds the ``"parallel"`` engine);
+            ``"auto"`` (default) — ``"cell"`` unless the engine is
+            ``"parallel"`` (nesting a per-case fork fan-out inside a
+            per-cell fork fan-out is never what you want).
+    """
+
+    engine: str = "serial"
+    jobs: int = 1
+    exact_solves: bool = False
+    shard: str = "auto"
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = one worker per CPU)")
+        if self.shard not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"shard must be one of {SHARD_STRATEGIES}, got {self.shard!r}"
+            )
+        if self.shard == "cell" and self.engine == "parallel":
+            raise ValueError(
+                "shard='cell' cannot nest the 'parallel' engine's per-case "
+                "fork fan-out inside per-cell workers; use engine='serial' "
+                "or 'lockstep' for sharded sweeps"
+            )
+
+    def resolved_shard(self) -> str:
+        """The effective strategy: ``"auto"`` → cell unless parallel."""
+        if self.shard != "auto":
+            return self.shard
+        return "none" if self.engine == "parallel" else "cell"

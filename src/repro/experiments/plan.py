@@ -1,0 +1,183 @@
+"""Sweep plans: expanding (experiments × parameter axes) into a grid.
+
+A :class:`SweepPlan` is the declarative unit
+:func:`~repro.experiments.runner.run_sweep` executes: a tuple of
+:class:`~repro.experiments.spec.ExperimentSpec`, a tuple of
+:class:`~repro.experiments.spec.ParameterAxis` (their cartesian product
+forms the grid), and an :class:`~repro.experiments.execution.ExecutionConfig`.
+:meth:`SweepPlan.cells` materialises the grid as :class:`GridCell`
+work units with stable, unique row keys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple, Union
+
+from repro.experiments.execution import ExecutionConfig
+from repro.experiments.spec import AxisPoint, ExperimentSpec, ParameterAxis
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["GridCell", "SweepPlan"]
+
+
+@dataclass(frozen=True, eq=False)
+class GridCell:
+    """One grid point: an experiment at a tuple of axis points.
+
+    Attributes:
+        experiment: The cell's experiment spec.
+        points: One :class:`AxisPoint` per plan axis (empty for
+            axis-free plans).
+    """
+
+    experiment: ExperimentSpec
+    points: Tuple[AxisPoint, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "points", tuple(self.points))
+
+    @property
+    def overrides(self) -> tuple:
+        """Base-spec overrides followed by this cell's axis overrides."""
+        return self.experiment.overrides + tuple(
+            (point.key, point.value) for point in self.points
+        )
+
+    @property
+    def coords(self) -> tuple:
+        """``((axis, label), ...)`` — the cell's grid coordinates."""
+        return tuple((point.axis, point.label) for point in self.points)
+
+    @property
+    def point_label(self) -> str:
+        """``"axis=label,..."`` rendering of :attr:`coords` ("" if none)."""
+        return ",".join(f"{axis}={label}" for axis, label in self.coords)
+
+    @property
+    def key(self) -> str:
+        """Stable row key: ``label`` or ``label@axis=value,...``."""
+        label = self.experiment.display_label
+        point = self.point_label
+        return f"{label}@{point}" if point else label
+
+
+@dataclass(frozen=True, eq=False)
+class SweepPlan:
+    """A full sweep: experiments × axes, plus how to execute them.
+
+    Attributes:
+        experiments: The scenarios/comparisons to sweep.  Accepts a
+            single spec, registry names (wrapped in default
+            :class:`ExperimentSpec`), inline ``ScenarioSpec``s, or full
+            experiment specs.
+        axes: Parameter axes; the grid is their cartesian product
+            applied to *every* experiment.  Empty = one cell per
+            experiment.
+        execution: Default execution configuration for
+            :func:`~repro.experiments.runner.run_sweep`.
+    """
+
+    experiments: tuple
+    axes: tuple = ()
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "experiments", _as_experiments(self.experiments)
+        )
+        axes = self.axes
+        if isinstance(axes, ParameterAxis):
+            axes = (axes,)
+        axes = tuple(axes)
+        for axis in axes:
+            if not isinstance(axis, ParameterAxis):
+                raise ValueError(
+                    f"axes entries must be ParameterAxis, got "
+                    f"{type(axis).__name__}"
+                )
+        names = [axis.name for axis in axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axis names in {names}")
+        object.__setattr__(self, "axes", axes)
+        if not isinstance(self.execution, ExecutionConfig):
+            raise ValueError(
+                "execution must be an ExecutionConfig, got "
+                f"{type(self.execution).__name__}"
+            )
+        counts = Counter(cell.key for cell in self.cells())
+        duplicates = sorted(key for key, n in counts.items() if n > 1)
+        if duplicates:
+            raise ValueError(
+                f"plan produces duplicate row keys {duplicates}; give the "
+                "colliding experiments distinct `label`s"
+            )
+
+    @classmethod
+    def for_scenarios(
+        cls,
+        names: Iterable[str],
+        axes: tuple = (),
+        execution: ExecutionConfig = None,
+        **spec_kwargs,
+    ) -> "SweepPlan":
+        """Uniform plan over registry scenarios (the CLI's entry point).
+
+        Args:
+            names: Registry scenario names, in sweep order.
+            axes: Parameter axes shared by every scenario.
+            execution: Execution configuration (default:
+                ``ExecutionConfig()``).
+            **spec_kwargs: Common :class:`ExperimentSpec` fields
+                (``num_cases``, ``horizon``, ``seed``, ...).
+        """
+        experiments = tuple(
+            ExperimentSpec(scenario=name, **spec_kwargs) for name in names
+        )
+        return cls(
+            experiments=experiments,
+            axes=axes,
+            execution=execution if execution is not None else ExecutionConfig(),
+        )
+
+    @property
+    def grid_shape(self) -> tuple:
+        """``(num_experiments, len(axis_1), len(axis_2), ...)``."""
+        return (len(self.experiments),) + tuple(
+            len(axis) for axis in self.axes
+        )
+
+    def cells(self) -> List[GridCell]:
+        """The grid, experiment-major then axis-lexicographic."""
+        point_tuples = list(
+            itertools.product(*(axis.points() for axis in self.axes))
+        )
+        return [
+            GridCell(experiment=experiment, points=points)
+            for experiment in self.experiments
+            for points in point_tuples
+        ]
+
+
+def _as_experiments(
+    experiments: Union[ExperimentSpec, str, ScenarioSpec, Iterable],
+) -> tuple:
+    """Normalise the accepted experiment forms to a spec tuple."""
+    if isinstance(experiments, (ExperimentSpec, str, ScenarioSpec)):
+        experiments = (experiments,)
+    out = []
+    for entry in experiments:
+        if isinstance(entry, ExperimentSpec):
+            out.append(entry)
+        elif isinstance(entry, (str, ScenarioSpec)):
+            out.append(ExperimentSpec(scenario=entry))
+        else:
+            raise ValueError(
+                "experiments entries must be ExperimentSpec, registry "
+                f"names or ScenarioSpec, got {type(entry).__name__}"
+            )
+    if not out:
+        raise ValueError("a sweep plan needs at least one experiment")
+    return tuple(out)

@@ -1,0 +1,348 @@
+"""Structured results of experiments and sweeps.
+
+A :class:`CellResult` keeps one grid cell's full per-case metric arrays
+(every approach saw the identical realisations, so the arrays are
+paired); a :class:`SweepResult` collects the cells and flattens them into
+a stable row table — one row per (cell, approach) with a unique ``key`` —
+that round-trips through CSV (the flat aggregate view) and JSON (full
+per-case fidelity).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+__all__ = ["ApproachResult", "CellResult", "ExperimentResult", "SweepResult"]
+
+#: Fixed CSV column order of the flat row table.
+CSV_COLUMNS = (
+    "key",
+    "scenario",
+    "point",
+    "approach",
+    "cases",
+    "horizon",
+    "seed",
+    "engine",
+    "exact_solves",
+    "mean_energy",
+    "energy_saving",
+    "mean_skip_rate",
+    "mean_forced_steps",
+    "max_violation",
+    "mean_fuel",
+    "fuel_saving",
+    "mean_controller_ms",
+    "mean_monitor_ms",
+    "safe",
+)
+
+_INT_COLUMNS = frozenset({"cases", "horizon", "seed"})
+_BOOL_COLUMNS = frozenset({"exact_solves", "safe"})
+_STR_COLUMNS = frozenset({"key", "scenario", "point", "approach", "engine"})
+
+#: Wall-clock-derived columns excluded from determinism comparisons.
+TIMING_COLUMNS = frozenset({"mean_controller_ms", "mean_monitor_ms"})
+
+#: Execution-metadata columns (how a sweep ran, not what it computed),
+#: also excluded when comparing runs across engines/tiers/worker counts.
+EXECUTION_COLUMNS = frozenset({"engine", "exact_solves"})
+
+
+@dataclass
+class ApproachResult:
+    """Per-case metrics of one approach in one grid cell.
+
+    Attributes:
+        metrics: Metric name → per-case array (``energy``, ``skip_rate``,
+            ``forced_steps``, ``max_violation``; the ACC pattern workload
+            adds ``fuel``).
+        mean_controller_ms: Mean κ wall-clock per invocation [ms].
+        mean_monitor_ms: Mean monitor+Ω wall-clock per step [ms].
+    """
+
+    metrics: Dict[str, np.ndarray]
+    mean_controller_ms: float
+    mean_monitor_ms: float
+
+
+@dataclass
+class CellResult:
+    """One evaluated grid cell: every approach over shared realisations.
+
+    Attributes:
+        key: The cell's stable row key (``scenario[@axis=label,...]``).
+        scenario: The experiment's display label.
+        coords: ``((axis, label), ...)`` grid coordinates.
+        config: Reproducibility metadata (``cases``, ``horizon``,
+            ``seed``, ``memory_length``, ``engine``, ``exact_solves``,
+            ``pattern``).
+        approaches: Approach name → :class:`ApproachResult`; the
+            κ-every-step reference leg is ``"baseline"``.
+    """
+
+    key: str
+    scenario: str
+    coords: tuple
+    config: dict
+    approaches: Dict[str, ApproachResult]
+
+    def stats(self, approach: str) -> ApproachResult:
+        """Stats by approach name (``"baseline"`` or a policy name)."""
+        try:
+            return self.approaches[approach]
+        except KeyError:
+            known = ", ".join(sorted(self.approaches)) or "<none>"
+            raise ValueError(
+                f"unknown approach {approach!r}; evaluated: {known}"
+            ) from None
+
+    def _saving(self, approach: str, metric: str) -> np.ndarray:
+        stats = self.stats(approach)
+        if metric not in stats.metrics:
+            raise ValueError(
+                f"cell {self.key!r} has no {metric!r} metric "
+                "(only the ACC pattern workload measures fuel)"
+            )
+        base = self.approaches["baseline"].metrics[metric]
+        out = np.zeros_like(base)
+        nonzero = np.abs(base) > 1e-12
+        out[nonzero] = (base[nonzero] - stats.metrics[metric][nonzero]) / base[nonzero]
+        return out
+
+    def energy_saving(self, approach: str) -> np.ndarray:
+        """Per-case fractional Σ‖u‖₁ saving vs the baseline (0/0 → 0)."""
+        return self._saving(approach, "energy")
+
+    def fuel_saving(self, approach: str) -> np.ndarray:
+        """Per-case fractional fuel saving vs the baseline (ACC only)."""
+        return self._saving(approach, "fuel")
+
+    @property
+    def always_safe(self) -> bool:
+        """True iff no approach ever left the safe set in any case."""
+        return all(
+            float(stats.metrics["max_violation"].max()) <= 0.0
+            for stats in self.approaches.values()
+        )
+
+    def rows(self) -> List[dict]:
+        """This cell's flat table rows (baseline first)."""
+        point = ",".join(f"{axis}={label}" for axis, label in self.coords)
+        rows = []
+        for name, stats in self.approaches.items():
+            fuel = stats.metrics.get("fuel")
+            rows.append(
+                {
+                    "key": f"{self.key}/{name}",
+                    "scenario": self.scenario,
+                    "point": point,
+                    "approach": name,
+                    "cases": int(self.config["cases"]),
+                    "horizon": int(self.config["horizon"]),
+                    "seed": int(self.config["seed"]),
+                    "engine": str(self.config["engine"]),
+                    "exact_solves": bool(self.config["exact_solves"]),
+                    "mean_energy": float(stats.metrics["energy"].mean()),
+                    "energy_saving": (
+                        0.0
+                        if name == "baseline"
+                        else float(self.energy_saving(name).mean())
+                    ),
+                    "mean_skip_rate": float(stats.metrics["skip_rate"].mean()),
+                    "mean_forced_steps": float(
+                        stats.metrics["forced_steps"].mean()
+                    ),
+                    "max_violation": float(stats.metrics["max_violation"].max()),
+                    "mean_fuel": None if fuel is None else float(fuel.mean()),
+                    "fuel_saving": (
+                        None
+                        if fuel is None
+                        else (
+                            0.0
+                            if name == "baseline"
+                            else float(self.fuel_saving(name).mean())
+                        )
+                    ),
+                    "mean_controller_ms": float(stats.mean_controller_ms),
+                    "mean_monitor_ms": float(stats.mean_monitor_ms),
+                    "safe": bool(
+                        float(stats.metrics["max_violation"].max()) <= 0.0
+                    ),
+                }
+            )
+        return rows
+
+
+#: :func:`~repro.experiments.runner.run_experiment` returns one cell.
+ExperimentResult = CellResult
+
+
+class SweepResult:
+    """The structured table a sweep returns.
+
+    Iterating yields :class:`CellResult`s in grid order; :meth:`rows`
+    flattens them into one dict per (cell, approach) with stable unique
+    ``key``s and the fixed :data:`CSV_COLUMNS` schema.
+
+    Serialisation: :meth:`to_json`/:meth:`from_json` round-trip the full
+    per-case arrays; :meth:`to_csv`/:meth:`from_csv` round-trip the flat
+    aggregate row table exactly (floats are written with ``repr``).
+    """
+
+    def __init__(self, cells, rows: Optional[List[dict]] = None):
+        self.cells: List[CellResult] = list(cells)
+        if rows is None:
+            rows = [row for cell in self.cells for row in cell.rows()]
+        self._rows = [dict(row) for row in rows]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[CellResult]:
+        return iter(self.cells)
+
+    def cell(self, key: str) -> CellResult:
+        """Cell lookup by its stable key."""
+        for cell in self.cells:
+            if cell.key == key:
+                return cell
+        known = ", ".join(cell.key for cell in self.cells) or "<none>"
+        raise KeyError(f"unknown cell {key!r}; cells: {known}")
+
+    @property
+    def always_safe(self) -> bool:
+        """True iff every cell was violation-free under every approach."""
+        return all(row["safe"] for row in self._rows)
+
+    def rows(self) -> List[dict]:
+        """The flat row table (one dict per cell × approach)."""
+        return [dict(row) for row in self._rows]
+
+    def row_keys(self) -> List[str]:
+        """Stable unique keys, one per row, in table order."""
+        return [row["key"] for row in self._rows]
+
+    def deterministic_rows(self) -> List[dict]:
+        """Rows minus wall-clock and execution-metadata columns — the
+        cross-worker/engine comparison view of the sharding contract."""
+        excluded = TIMING_COLUMNS | EXECUTION_COLUMNS
+        return [
+            {k: v for k, v in row.items() if k not in excluded}
+            for row in self._rows
+        ]
+
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str) -> None:
+        """Write the flat row table (``None`` → empty field)."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(CSV_COLUMNS)
+            for row in self._rows:
+                writer.writerow(
+                    [
+                        ""
+                        if row[column] is None
+                        else (
+                            repr(row[column])
+                            if isinstance(row[column], float)
+                            else row[column]
+                        )
+                        for column in CSV_COLUMNS
+                    ]
+                )
+
+    @classmethod
+    def from_csv(cls, path: str) -> "SweepResult":
+        """Rebuild the row table (cells are not recoverable from CSV)."""
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise ValueError(f"{path}: empty CSV") from None
+            if tuple(header) != CSV_COLUMNS:
+                raise ValueError(
+                    f"{path}: unexpected columns {header}; expected "
+                    f"{list(CSV_COLUMNS)}"
+                )
+            rows = [
+                {
+                    column: _parse_csv_field(column, value)
+                    for column, value in zip(CSV_COLUMNS, record)
+                }
+                for record in reader
+            ]
+        return cls(cells=[], rows=rows)
+
+    def to_json(self, path: str) -> None:
+        """Write full-fidelity cells (per-case arrays included)."""
+        payload = {
+            "cells": [
+                {
+                    "key": cell.key,
+                    "scenario": cell.scenario,
+                    "coords": [list(pair) for pair in cell.coords],
+                    "config": cell.config,
+                    "approaches": {
+                        name: {
+                            "metrics": {
+                                metric: values.tolist()
+                                for metric, values in stats.metrics.items()
+                            },
+                            "mean_controller_ms": stats.mean_controller_ms,
+                            "mean_monitor_ms": stats.mean_monitor_ms,
+                        }
+                        for name, stats in cell.approaches.items()
+                    },
+                }
+                for cell in self.cells
+            ]
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+
+    @classmethod
+    def from_json(cls, path: str) -> "SweepResult":
+        """Rebuild cells (and hence rows) from :meth:`to_json` output."""
+        with open(path) as handle:
+            payload = json.load(handle)
+        cells = [
+            CellResult(
+                key=entry["key"],
+                scenario=entry["scenario"],
+                coords=tuple(tuple(pair) for pair in entry["coords"]),
+                config=dict(entry["config"]),
+                approaches={
+                    name: ApproachResult(
+                        metrics={
+                            metric: np.asarray(values, dtype=float)
+                            for metric, values in stats["metrics"].items()
+                        },
+                        mean_controller_ms=float(stats["mean_controller_ms"]),
+                        mean_monitor_ms=float(stats["mean_monitor_ms"]),
+                    )
+                    for name, stats in entry["approaches"].items()
+                },
+            )
+            for entry in payload["cells"]
+        ]
+        return cls(cells=cells)
+
+
+def _parse_csv_field(column: str, value: str):
+    if column in _STR_COLUMNS:
+        return value
+    if value == "":
+        return None
+    if column in _INT_COLUMNS:
+        return int(value)
+    if column in _BOOL_COLUMNS:
+        return value == "True"
+    return float(value)

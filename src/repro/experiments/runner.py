@@ -1,0 +1,491 @@
+"""Grid execution: materialise cells, run them, shard them over workers.
+
+:func:`run_experiment` evaluates one :class:`ExperimentSpec`;
+:func:`run_sweep` expands a :class:`SweepPlan` into grid cells and —
+under the default cell-sharding strategy — fans whole cells out over
+:func:`repro.utils.parallel.fork_map` workers, lockstep (or serial)
+*inside* each cell.
+
+Determinism: a cell's metrics depend only on its spec (scenario +
+overrides, seed, cases, horizon) and the engine tier — never on worker
+scheduling — because every realisation is derived from the spec's seed
+before any episode runs, exactly as the legacy entry points drew them,
+and sharded cells must use stateless policies (enforced), so no policy
+state can leak between cells of an in-process run either.
+Sharding therefore reproduces the ``jobs=1`` run record-for-record; only
+cross-*engine* comparisons of stacked-LP controllers drop to the
+plan-equivalent tier (PR 4's contract; pass ``exact_solves=True`` for
+record-for-record audits).
+
+Workload dispatch: a spec with ``pattern=None`` runs the generic
+scenario workload (i.i.d. disturbances from the scenario's ``W``,
+Problem-1 energy); ``pattern="overall"``/``"ex1"``.. selects the ACC
+pattern workload (front-vehicle realisations, fuel metric) — the shape
+of the paper's own Sec.-IV evaluation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.experiments.execution import ExecutionConfig
+from repro.experiments.plan import GridCell, SweepPlan
+from repro.experiments.result import (
+    ApproachResult,
+    CellResult,
+    ExperimentResult,
+    SweepResult,
+)
+from repro.experiments.spec import (
+    BASELINE,
+    DEFAULT_APPROACHES,
+    _BASELINE_RESERVED,
+    ExperimentSpec,
+)
+from repro.framework.evaluation import paired_evaluation
+from repro.scenarios.spec import ScenarioSpec
+from repro.skipping.base import AlwaysSkipPolicy, SkippingPolicy
+from repro.skipping.heuristics import PeriodicSkipPolicy
+from repro.utils.parallel import fork_map, resolve_jobs
+
+__all__ = ["run_experiment", "run_sweep"]
+
+_PERIODIC = re.compile(r"^periodic([1-9]\d*)$")
+
+#: Per-case metric names of the generic workload (tuple order of the
+#: metrics_of callable; the two wall-clock means follow).
+_GENERIC_METRICS = ("energy", "skip_rate", "forced_steps", "max_violation")
+_ACC_METRICS = ("fuel",) + _GENERIC_METRICS
+
+
+@dataclass
+class _Workload:
+    """Everything :func:`paired_evaluation` needs for one cell."""
+
+    case: object
+    system: object
+    controller: object
+    monitor_factory: Callable
+    skip_input: np.ndarray
+    initial_states: np.ndarray
+    realisations: list
+    metrics_of: Callable
+    metric_names: tuple
+
+
+def _builtin_policy(name: str) -> Optional[SkippingPolicy]:
+    """Built-in approach names: ``bang_bang`` and ``periodic<k>``."""
+    if name == "bang_bang":
+        return AlwaysSkipPolicy()
+    match = _PERIODIC.match(name)
+    if match:
+        return PeriodicSkipPolicy(int(match.group(1)))
+    return None
+
+
+def _resolve_policies(
+    spec: ExperimentSpec, case, require_stateless: bool = False
+) -> Dict[str, SkippingPolicy]:
+    """Approach name → policy instance for one materialised cell.
+
+    Args:
+        require_stateless: Under cell sharding, policy instances must be
+            stateless — a stateful policy would carry state across cells
+            in a ``jobs=1`` run but start pristine in each forked worker,
+            breaking the jobs-invariance contract.  (The lockstep engine
+            independently enforces the same flag per cell.)
+    """
+    supplied = spec.policies
+    if supplied is not None and not isinstance(supplied, Mapping):
+        supplied = supplied(case)  # callable case -> mapping (or None)
+    supplied = dict(supplied or {})
+    if BASELINE in supplied:
+        raise ValueError(_BASELINE_RESERVED)
+    names = spec.approaches
+    if names is None:
+        names = tuple(supplied) if supplied else DEFAULT_APPROACHES
+    policies: Dict[str, SkippingPolicy] = {}
+    for name in names:
+        if name in supplied:
+            value = supplied.pop(name)
+            if not isinstance(value, SkippingPolicy) and callable(value):
+                value = value(case)
+            if not isinstance(value, SkippingPolicy):
+                raise ValueError(
+                    f"approach {name!r}: policies must supply a "
+                    "SkippingPolicy (or a case -> policy factory), got "
+                    f"{type(value).__name__}"
+                )
+            if require_stateless and not getattr(value, "stateless", False):
+                raise ValueError(
+                    f"approach {name!r}: sharded sweeps (jobs != 1) "
+                    "require stateless policies — a stateful instance "
+                    "carries state across cells in-process but starts "
+                    "pristine in each forked worker; run with jobs=1 or "
+                    "shard='none' instead"
+                )
+            policies[name] = value
+            continue
+        builtin = _builtin_policy(name)
+        if builtin is None:
+            known = ", ".join(sorted(supplied)) or "<none>"
+            raise ValueError(
+                f"unknown approach {name!r}: not a built-in "
+                "('bang_bang', 'periodic<k>') and not supplied via "
+                f"policies (supplied: {known})"
+            )
+        policies[name] = builtin
+    if supplied:
+        raise ValueError(
+            f"policies {sorted(supplied)} are not named in approaches {names}"
+        )
+    return policies
+
+
+# ----------------------------------------------------------------------
+# Workload materialisation
+# ----------------------------------------------------------------------
+def _generic_workload(spec: ExperimentSpec, overrides: tuple) -> _Workload:
+    """Registry/inline scenario with i.i.d. disturbances from ``W``."""
+    from repro.scenarios import registry
+    from repro.scenarios.builder import CaseStudy, build_case_study
+
+    if not isinstance(spec.scenario, (str, ScenarioSpec, CaseStudy)):
+        # Spec validation admits exactly one other type: ACCCaseStudy.
+        raise ValueError(
+            "an ACCCaseStudy runs the ACC pattern workload — set "
+            "pattern='overall' (or an ex1..ex10 id) on the experiment"
+        )
+    if isinstance(spec.scenario, CaseStudy):
+        # A pre-built case is evaluated exactly as passed (customised
+        # controllers/monitors survive) — it cannot be re-synthesised,
+        # so synthesis overrides have nothing to apply to.
+        if overrides:
+            raise ValueError(
+                f"experiment {spec.display_label!r}: overrides/axes "
+                f"{[key for key, _ in overrides]} need a scenario name or "
+                "ScenarioSpec to re-synthesise; a pre-built CaseStudy "
+                "cannot take synthesis overrides"
+            )
+        case = spec.scenario
+    else:
+        if isinstance(spec.scenario, str):
+            base = registry.get(spec.scenario)
+        else:
+            base = spec.scenario
+        point_spec = (
+            base.with_overrides(**dict(overrides)) if overrides else base
+        )
+        case = build_case_study(point_spec)
+
+    rng = np.random.default_rng(spec.seed)
+    initial_states = case.sample_initial_states(rng, spec.num_cases)
+    factory = case.disturbance_factory(spec.horizon)
+    realisations = [
+        factory(i, np.random.default_rng(child))
+        for i, child in enumerate(
+            np.random.SeedSequence(spec.seed).spawn(spec.num_cases)
+        )
+    ]
+
+    safe_set = case.system.safe_set
+
+    def metrics_of(stats) -> tuple:
+        return (
+            case.energy_of_run(stats),
+            stats.skip_rate,
+            stats.forced_steps,
+            stats.max_violation(safe_set),
+            1e3 * stats.mean_controller_time,
+            1e3 * stats.mean_monitor_time,
+        )
+
+    return _Workload(
+        case=case,
+        system=case.system,
+        controller=case.controller,
+        monitor_factory=lambda: case.make_monitor(strict=True),
+        skip_input=case.skip_input,
+        initial_states=initial_states,
+        realisations=realisations,
+        metrics_of=metrics_of,
+        metric_names=_GENERIC_METRICS,
+    )
+
+
+def _acc_workload(spec: ExperimentSpec, overrides: tuple) -> _Workload:
+    """The paper's ACC evaluation: front-vehicle patterns + fuel meter.
+
+    Override keys: :class:`~repro.acc.model.ACCParameters` fields,
+    ``"pattern"`` (front-vehicle pattern id), or ``"experiment"`` (paper
+    id setting the pattern *and* its Table-I ``vf_range`` together).
+    The RNG consumption order (pattern, initial states, realisations)
+    matches the historical ``evaluate_approaches`` draw for draw, so
+    grid cells reproduce the paper harness metric-for-metric.
+    """
+    from repro.acc.case_study import ACCCaseStudy
+    from repro.acc.case_study import build_case_study as build_acc_case
+    from repro.acc.experiments import experiment_vf_range
+    from repro.acc.model import ACCParameters
+    from repro.traffic.patterns import experiment_pattern
+
+    if spec.scenario_name != "acc":
+        raise ValueError(
+            f"pattern={spec.pattern!r} selects the ACC front-vehicle "
+            f"workload, which requires scenario 'acc' (got "
+            f"{spec.scenario_name!r}); non-ACC scenarios draw i.i.d. "
+            "disturbances from their W"
+        )
+    pattern_id = spec.pattern
+    if isinstance(spec.scenario, ACCCaseStudy):
+        # A pre-built ACC case is evaluated exactly as passed (customised
+        # controllers/monitors survive).  Its parameters are fixed, so
+        # only pattern-selecting overrides make sense.
+        params = spec.scenario.params
+        for key, value in overrides:
+            if key == "experiment":
+                pattern_id = str(value)
+                if experiment_vf_range(pattern_id) != params.vf_range:
+                    raise ValueError(
+                        f"experiment override {pattern_id!r} implies "
+                        f"vf_range {experiment_vf_range(pattern_id)}, but "
+                        f"the pre-built ACC case was synthesised for "
+                        f"{params.vf_range}; pass scenario='acc' to let "
+                        "the workload rebuild per point"
+                    )
+            elif key == "pattern":
+                pattern_id = str(value)
+            else:
+                raise ValueError(
+                    f"override {key!r}: a pre-built ACCCaseStudy has fixed "
+                    "parameters — only 'pattern'/'experiment' overrides "
+                    "apply; pass scenario='acc' for parameter axes"
+                )
+        case = spec.scenario
+    elif not isinstance(spec.scenario, str):
+        # The ACC workload is parameterised by ACCParameters (fuel meter,
+        # coordinate transforms, pattern dt), which a generic spec or
+        # generic CaseStudy does not carry — honouring one here would
+        # silently evaluate a rebuilt default instead.
+        raise ValueError(
+            "the ACC pattern workload rebuilds its case study from "
+            "ACCParameters overrides; pass scenario='acc' or a built "
+            "ACCCaseStudy (a ScenarioSpec or generic CaseStudy cannot "
+            "be honoured)"
+        )
+    else:
+        param_fields = {f.name for f in fields(ACCParameters)}
+        params = ACCParameters()
+        for key, value in overrides:
+            if key == "experiment":
+                pattern_id = str(value)
+                params = replace(
+                    params, vf_range=experiment_vf_range(pattern_id)
+                )
+            elif key == "pattern":
+                pattern_id = str(value)
+            elif key == "vf_range":
+                params = replace(
+                    params, vf_range=(float(value[0]), float(value[1]))
+                )
+            elif key in param_fields:
+                params = replace(params, **{key: value})
+            else:
+                allowed = ", ".join(
+                    sorted(param_fields | {"experiment", "pattern"})
+                )
+                raise ValueError(
+                    f"unknown ACC override {key!r}; valid keys: {allowed}"
+                )
+        case = build_acc_case(params)
+
+    rng = np.random.default_rng(spec.seed)
+    pattern = experiment_pattern(pattern_id, rng, dt=case.params.delta)
+    initial_states = case.sample_initial_states(rng, spec.num_cases)
+    realisations = [
+        case.coords.disturbance_from_vf(pattern.generate(spec.horizon))
+        for _ in range(spec.num_cases)
+    ]
+
+    safe_set = case.system.safe_set
+
+    def metrics_of(stats) -> tuple:
+        return (
+            case.fuel_of_run(stats),
+            case.raw_energy_of_run(stats),
+            stats.skip_rate,
+            stats.forced_steps,
+            stats.max_violation(safe_set),
+            1e3 * stats.mean_controller_time,
+            1e3 * stats.mean_monitor_time,
+        )
+
+    return _Workload(
+        case=case,
+        system=case.system,
+        controller=case.mpc,
+        monitor_factory=lambda: case.make_monitor(strict=True),
+        skip_input=case.skip_input,
+        initial_states=initial_states,
+        realisations=realisations,
+        metrics_of=metrics_of,
+        metric_names=_ACC_METRICS,
+    )
+
+
+def _materialise(cell: GridCell) -> _Workload:
+    spec = cell.experiment
+    if spec.pattern is not None:
+        return _acc_workload(spec, cell.overrides)
+    return _generic_workload(spec, cell.overrides)
+
+
+def _finalize(rows: List[tuple], metric_names: tuple) -> ApproachResult:
+    columns = list(zip(*rows))
+    metrics = {
+        name: np.array(columns[i]) for i, name in enumerate(metric_names)
+    }
+    return ApproachResult(
+        metrics=metrics,
+        mean_controller_ms=float(np.mean(columns[len(metric_names)])),
+        mean_monitor_ms=float(np.mean(columns[len(metric_names) + 1])),
+    )
+
+
+def _evaluate_cell(
+    cell: GridCell,
+    execution: ExecutionConfig,
+    inner_jobs: int,
+    require_stateless: bool = False,
+) -> CellResult:
+    """Run one grid cell's full paired comparison."""
+    spec = cell.experiment
+    workload = _materialise(cell)
+    policies = _resolve_policies(
+        spec, workload.case, require_stateless=require_stateless
+    )
+
+    approaches: Dict[str, Optional[SkippingPolicy]] = {"baseline": None}
+    approaches.update(policies)
+    collected = paired_evaluation(
+        workload.system,
+        workload.controller,
+        workload.monitor_factory,
+        approaches,
+        workload.initial_states,
+        workload.realisations,
+        workload.metrics_of,
+        skip_input=workload.skip_input,
+        memory_length=spec.memory_length,
+        engine=execution.engine,
+        jobs=inner_jobs,
+        exact_solves=execution.exact_solves,
+    )
+    return CellResult(
+        key=cell.key,
+        scenario=spec.display_label,
+        coords=cell.coords,
+        config={
+            "cases": spec.num_cases,
+            "horizon": spec.horizon,
+            "seed": spec.seed,
+            "memory_length": spec.memory_length,
+            "engine": execution.engine,
+            "exact_solves": execution.exact_solves,
+            "pattern": spec.pattern,
+        },
+        approaches={
+            name: _finalize(collected[name], workload.metric_names)
+            for name in approaches
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def run_experiment(
+    spec: ExperimentSpec,
+    execution: Optional[ExecutionConfig] = None,
+) -> ExperimentResult:
+    """Evaluate one experiment (a single, axis-free grid cell).
+
+    Args:
+        spec: The experiment.
+        execution: Execution configuration; ``jobs`` feeds the
+            ``"parallel"`` engine's per-case fan-out (a single cell has
+            nothing to shard).
+
+    Returns:
+        The cell's :class:`~repro.experiments.result.CellResult`.
+    """
+    if execution is None:
+        execution = ExecutionConfig()
+    return _evaluate_cell(
+        GridCell(experiment=spec), execution, inner_jobs=execution.jobs
+    )
+
+
+def run_sweep(
+    plan: SweepPlan,
+    execution: Optional[ExecutionConfig] = None,
+    on_cell: Optional[Callable[[CellResult], None]] = None,
+) -> SweepResult:
+    """Execute a sweep plan's full grid, sharding cells over workers.
+
+    Under the (default) ``"cell"`` shard strategy with ``jobs != 1``,
+    whole grid cells are fanned out over forked workers — each worker
+    runs its cell's entire paired batch with the configured engine
+    (lockstep inside is the single-core fast path), so per-cell results
+    are identical to a ``jobs=1`` run and only wall-clock fields vary.
+    Sharded cells require stateless policies (a stateful instance would
+    carry state across cells in-process but start pristine per worker);
+    supplying one raises a :class:`ValueError` naming the approach.
+    With ``shard="none"`` (or the ``"parallel"`` engine, whose per-case
+    fan-out must not nest inside cell workers) cells run sequentially
+    in-process.
+
+    Args:
+        plan: The sweep plan.
+        execution: Overrides ``plan.execution`` when given.
+        on_cell: Optional progress callback, invoked once per completed
+            cell (completion order under sharding, grid order otherwise).
+
+    Returns:
+        A :class:`~repro.experiments.result.SweepResult` with cells in
+        grid order regardless of worker scheduling.
+    """
+    if execution is None:
+        execution = plan.execution
+    cells = plan.cells()
+    sharded = (
+        execution.resolved_shard() == "cell"
+        and len(cells) > 1
+        and resolve_jobs(execution.jobs) > 1
+    )
+    if sharded:
+        on_result = (
+            None if on_cell is None else (lambda index, result: on_cell(result))
+        )
+        results = fork_map(
+            # require_stateless: the jobs-invariance contract below only
+            # holds when no policy state can leak across cells.
+            lambda cell: _evaluate_cell(
+                cell, execution, inner_jobs=1, require_stateless=True
+            ),
+            cells,
+            jobs=execution.jobs,
+            on_result=on_result,
+        )
+    else:
+        results = []
+        for cell in cells:
+            result = _evaluate_cell(cell, execution, inner_jobs=execution.jobs)
+            if on_cell is not None:
+                on_cell(result)
+            results.append(result)
+    return SweepResult(results)

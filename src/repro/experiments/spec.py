@@ -1,0 +1,264 @@
+"""Declarative experiment specifications.
+
+The paper's whole Sec.-IV evaluation has one shape: run several control
+approaches — the κ-every-step baseline plus monitored skipping policies —
+over shared (initial state, disturbance realisation) pairs, on a scenario
+swept along one or more parameter axes (Table I sweeps the ACC's
+front-velocity range).  :class:`ExperimentSpec` captures one such paired
+comparison as pure data; :class:`ParameterAxis` names a swept parameter
+and its points.  :class:`~repro.experiments.plan.SweepPlan` expands
+(experiments × axis points) into a grid and
+:func:`~repro.experiments.runner.run_sweep` executes it.
+
+Axis points are applied as ``dataclasses.replace``-style overrides:
+
+* on a **generic scenario**, the override key is a
+  :class:`~repro.scenarios.spec.ScenarioSpec` synthesis field
+  (``horizon``, ``state_weight``, ``disturbance_set``, ...) and each grid
+  point becomes ``base.with_overrides(key=value)`` — a relabelled variant
+  whose content-hash ``cache_key`` keeps every point cache-correct in the
+  builder cache;
+* on the **ACC pattern workload** (``pattern=...``), the override key is
+  an :class:`~repro.acc.model.ACCParameters` field (``vf_range``, ...),
+  the key ``"pattern"`` (front-vehicle pattern id), or the key
+  ``"experiment"`` — a paper experiment id that sets the pattern *and*
+  its Table-I ``vf_range`` at once, which is exactly how Table I is
+  re-expressed as an axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, NamedTuple, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.scenarios.builder import CaseStudy
+from repro.scenarios.spec import ScenarioSpec, _terse
+
+__all__ = ["AxisPoint", "ParameterAxis", "ExperimentSpec"]
+
+#: Reserved approach name of the κ-every-step reference leg.
+BASELINE = "baseline"
+
+#: Approach names used when neither ``approaches`` nor ``policies`` says
+#: otherwise (the built-in bang-bang + periodic-2 pair of Table I).
+DEFAULT_APPROACHES = ("bang_bang", "periodic2")
+
+_BASELINE_RESERVED = (
+    "'baseline' names the κ-every-step reference leg; it is always "
+    "evaluated and cannot be redefined"
+)
+
+
+class AxisPoint(NamedTuple):
+    """One resolved point of a :class:`ParameterAxis`.
+
+    Attributes:
+        axis: The axis name (row-key coordinate).
+        key: The override key the value is applied to.
+        label: Human-readable value label (stable row-key component).
+        value: The override value itself.
+    """
+
+    axis: str
+    key: str
+    label: str
+    value: object
+
+
+@dataclass(frozen=True, eq=False)
+class ParameterAxis:
+    """A named axis of spec overrides — the grid dimension of a sweep.
+
+    Attributes:
+        name: Axis name; also the default override ``field``.
+        values: The axis points, in sweep order.
+        field: Override key the values are applied to (a generic
+            ``ScenarioSpec`` field, or an ACC override key when the
+            experiment runs the ACC pattern workload); defaults to
+            ``name``.
+        labels: Per-value labels for row keys; auto-derived when omitted.
+    """
+
+    name: str
+    values: tuple
+    field: Optional[str] = None
+    labels: Optional[tuple] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("axis name must be non-empty")
+        values = tuple(self.values)
+        if not values:
+            raise ValueError(f"axis {self.name!r} needs at least one value")
+        object.__setattr__(self, "values", values)
+        if self.labels is not None:
+            labels = tuple(str(label) for label in self.labels)
+            if len(labels) != len(values):
+                raise ValueError(
+                    f"axis {self.name!r}: {len(labels)} labels for "
+                    f"{len(values)} values"
+                )
+            object.__setattr__(self, "labels", labels)
+
+    @classmethod
+    def linspace(
+        cls,
+        name: str,
+        lo: float,
+        hi: float,
+        num: int,
+        field: Optional[str] = None,
+    ) -> "ParameterAxis":
+        """An evenly-spaced numeric axis (the CLI's ``--axis lo:hi:n``)."""
+        if num < 1:
+            raise ValueError(f"axis {name!r}: need at least one point")
+        values = tuple(
+            float(v) for v in np.linspace(float(lo), float(hi), int(num))
+        )
+        return cls(name=name, values=values, field=field)
+
+    def points(self) -> Tuple[AxisPoint, ...]:
+        """The resolved :class:`AxisPoint` sequence of this axis."""
+        key = self.field if self.field is not None else self.name
+        labels = (
+            self.labels
+            if self.labels is not None
+            else tuple(_terse(value) for value in self.values)
+        )
+        return tuple(
+            AxisPoint(axis=self.name, key=key, label=label, value=value)
+            for label, value in zip(labels, self.values)
+        )
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def _normalise_overrides(overrides) -> tuple:
+    """``dict`` or pair-iterable → ``((key, value), ...)`` in given order."""
+    if overrides is None:
+        return ()
+    if isinstance(overrides, Mapping):
+        pairs = overrides.items()
+    else:
+        pairs = overrides
+    out = []
+    for pair in pairs:
+        key, value = pair
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"override keys must be non-empty strings: {key!r}")
+        out.append((key, value))
+    return tuple(out)
+
+
+@dataclass(frozen=True, eq=False)
+class ExperimentSpec:
+    """One paired approach comparison, declaratively.
+
+    Attributes:
+        scenario: Registry name, an inline
+            :class:`~repro.scenarios.spec.ScenarioSpec`, or a pre-built
+            case study (:class:`~repro.scenarios.builder.CaseStudy`, or
+            :class:`~repro.acc.case_study.ACCCaseStudy` together with
+            ``pattern``) — pre-built cases are evaluated exactly as
+            passed (customised controllers/monitors included) and
+            therefore cannot take synthesis overrides.
+        approaches: Skipping-approach names evaluated against the
+            κ-every-step baseline (always run; its reserved name is
+            ``"baseline"``).  Built-ins: ``"bang_bang"`` (Eq. 7) and
+            ``"periodic<k>"`` (e.g. ``"periodic2"``); other names must be
+            supplied via ``policies``.  The default ``None`` derives the
+            names from ``policies`` at run time, falling back to
+            ``("bang_bang", "periodic2")`` when that is empty too — so a
+            bare ``policies={"custom": ...}`` works without repeating the
+            names here.
+        num_cases: Evaluation cases per approach (shared realisations).
+        horizon: Steps per case.
+        seed: Root seed for initial states and disturbance realisations.
+        memory_length: The paper's ``r`` (disturbance-history window).
+        pattern: ACC front-vehicle pattern id (``"overall"``,
+            ``"ex1"``..``"ex10"``).  Selects the ACC pattern workload —
+            structured front-vehicle realisations plus the fuel metric —
+            and requires ``scenario`` to resolve to ``"acc"``.
+        overrides: Base-point ``(key, value)`` overrides applied before
+            any axis point (see the module docstring for valid keys).
+        policies: Optional mapping ``name → policy`` (or ``name →
+            factory(case)``), or a callable ``case → mapping`` built per
+            grid point.  Not serialisable — for programmatic use.
+        label: Row-key label for this experiment; defaults to the
+            scenario name.  Must be unique within a plan.
+    """
+
+    scenario: Union[str, ScenarioSpec, CaseStudy]
+    approaches: Optional[Sequence[str]] = None
+    num_cases: int = 8
+    horizon: int = 50
+    seed: int = 1
+    memory_length: int = 1
+    pattern: Optional[str] = None
+    overrides: tuple = ()
+    policies: object = None
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        if isinstance(self.scenario, str):
+            if not self.scenario:
+                raise ValueError("scenario name must be non-empty")
+        elif not isinstance(self.scenario, (ScenarioSpec, CaseStudy)):
+            # Imported lazily: the ACC subpackage is heavy and only
+            # needed when an ACC case study is actually passed.
+            from repro.acc.case_study import ACCCaseStudy
+
+            if not isinstance(self.scenario, ACCCaseStudy):
+                raise ValueError(
+                    "scenario must be a registry name, a ScenarioSpec or "
+                    "a built (ACC)CaseStudy, got "
+                    f"{type(self.scenario).__name__}"
+                )
+        if self.num_cases < 1:
+            raise ValueError("num_cases must be >= 1")
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if self.memory_length < 1:
+            raise ValueError("memory_length must be >= 1")
+        if self.approaches is not None:
+            approaches = tuple(str(name) for name in self.approaches)
+            if len(set(approaches)) != len(approaches):
+                raise ValueError(f"duplicate approach names in {approaches}")
+            object.__setattr__(self, "approaches", approaches)
+            if BASELINE in approaches:
+                raise ValueError(_BASELINE_RESERVED)
+        object.__setattr__(
+            self, "overrides", _normalise_overrides(self.overrides)
+        )
+        if isinstance(self.policies, Mapping):
+            if BASELINE in self.policies:
+                raise ValueError(_BASELINE_RESERVED)
+            if self.approaches is not None:
+                stray = sorted(set(self.policies) - set(self.approaches))
+                if stray:
+                    raise ValueError(
+                        f"policies {stray} are not named in approaches "
+                        f"{self.approaches}"
+                    )
+        elif self.policies is not None and not callable(self.policies):
+            raise ValueError(
+                "policies must be a mapping, a callable case -> mapping, "
+                f"or None, got {type(self.policies).__name__}"
+            )
+
+    @property
+    def scenario_name(self) -> str:
+        """The registry / spec / case-study name the experiment targets."""
+        if isinstance(self.scenario, str):
+            return self.scenario
+        # ScenarioSpec and CaseStudy carry a name; ACCCaseStudy (no name
+        # field) is by construction the paper's ACC scenario.
+        return getattr(self.scenario, "name", "acc")
+
+    @property
+    def display_label(self) -> str:
+        """The experiment's row-key label."""
+        return self.label if self.label is not None else self.scenario_name

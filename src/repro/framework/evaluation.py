@@ -32,9 +32,28 @@ from repro.skipping.base import SkippingPolicy
 from repro.systems.lti import DiscreteLTISystem
 from repro.utils.parallel import fork_map
 
-__all__ = ["paired_evaluation"]
+__all__ = ["ENGINES", "default_engine", "paired_evaluation"]
 
-_ENGINES = ("serial", "parallel", "lockstep")
+#: The execution engines every evaluation entry point accepts.
+ENGINES = ("serial", "parallel", "lockstep")
+
+
+def default_engine(engine: Optional[str], jobs: int) -> str:
+    """Resolve the legacy engine inference shared by the old entry points.
+
+    An explicit ``engine`` wins; ``None`` keeps the historical behaviour
+    of the pre-spec API (parallel iff ``jobs != 1``).
+
+    Raises:
+        ValueError: For names outside :data:`ENGINES`.
+    """
+    if engine is None:
+        return "parallel" if jobs != 1 else "serial"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
+    return engine
 
 
 def paired_evaluation(
@@ -83,9 +102,9 @@ def paired_evaluation(
         ValueError: On unknown engines, empty case sets, or — under
             lockstep — approaches whose policy is not flagged stateless.
     """
-    if engine not in _ENGINES:
+    if engine not in ENGINES:
         raise ValueError(
-            f"engine must be one of {_ENGINES}, got {engine!r}"
+            f"engine must be one of {ENGINES}, got {engine!r}"
         )
     initial_states = np.atleast_2d(np.asarray(initial_states, dtype=float))
     num_cases = initial_states.shape[0]

@@ -1,15 +1,18 @@
-"""Cross-scenario Table-I-style sweeps.
+"""Cross-scenario Table-I-style sweeps (legacy entry points).
 
-:func:`evaluate_scenario` runs the paired approach comparison — the
-κ-every-step baseline against monitored skipping policies — on *any*
-built case study, reporting the scenario-agnostic metrics (Problem-1
-energy, skip rate, monitor-forced steps, worst safe-set violation,
-wall-clock).  :func:`sweep_scenarios` maps it over the registry, giving
-every future feature an N-scenario workload instead of an ACC-only one.
+.. deprecated::
+    :func:`evaluate_scenario` and :func:`sweep_scenarios` are thin
+    clients of the declarative experiment API
+    (:mod:`repro.experiments`) — kept for compatibility, metric-identical
+    to the equivalent :func:`repro.experiments.run_experiment` /
+    :func:`repro.experiments.run_sweep` calls.  New code should build an
+    :class:`~repro.experiments.spec.ExperimentSpec` /
+    :class:`~repro.experiments.plan.SweepPlan` directly: that adds
+    parameter axes and sharded grid execution these wrappers never grew.
 
-The ACC-specific comparison (fuel meter, DRL agent, front-vehicle
-patterns) stays in :func:`repro.acc.experiments.evaluate_approaches`;
-both are clients of :func:`repro.framework.evaluation.paired_evaluation`.
+The result dataclasses (:class:`ScenarioComparison`,
+:class:`ScenarioApproachStats`) are unchanged; both wrappers reconstruct
+them from the cell results the experiment runner returns.
 """
 
 from __future__ import annotations
@@ -19,12 +22,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.framework.accounting import RunStats
-from repro.framework.evaluation import paired_evaluation
 from repro.scenarios.builder import CaseStudy
 from repro.scenarios import registry
-from repro.skipping.base import AlwaysSkipPolicy, SkippingPolicy
-from repro.skipping.heuristics import PeriodicSkipPolicy
+from repro.skipping.base import SkippingPolicy
 
 __all__ = [
     "ScenarioApproachStats",
@@ -102,38 +102,38 @@ def default_policies(case: CaseStudy) -> Dict[str, SkippingPolicy]:
 
     Bang-bang (Eq. 7: skip whenever the monitor allows) plus a periodic
     (1, 2) pattern — both stateless, so every engine can run them.
+    Delegates to the experiment API's built-in approach names
+    (``DEFAULT_APPROACHES``), so the wrappers and the runner cannot
+    drift apart.
     """
-    return {
-        "bang_bang": AlwaysSkipPolicy(),
-        "periodic2": PeriodicSkipPolicy(2),
-    }
+    from repro.experiments.runner import _builtin_policy
+    from repro.experiments.spec import DEFAULT_APPROACHES
+
+    return {name: _builtin_policy(name) for name in DEFAULT_APPROACHES}
 
 
-def _metrics_of(case: CaseStudy) -> Callable[[RunStats], tuple]:
-    safe_set = case.system.safe_set
-
-    def metrics(stats: RunStats) -> tuple:
-        return (
-            case.energy_of_run(stats),
-            stats.skip_rate,
-            stats.forced_steps,
-            stats.max_violation(safe_set),
-            1e3 * stats.mean_controller_time,
-            1e3 * stats.mean_monitor_time,
-        )
-
-    return metrics
-
-
-def _finalize(rows: List[tuple]) -> ScenarioApproachStats:
-    columns = list(zip(*rows))
+def _stats_from_cell(cell, name: str) -> ScenarioApproachStats:
+    approach = cell.approaches[name]
+    metrics = approach.metrics
     return ScenarioApproachStats(
-        energy=np.array(columns[0]),
-        skip_rate=np.array(columns[1]),
-        forced_steps=np.array(columns[2]),
-        max_violation=np.array(columns[3]),
-        mean_controller_ms=float(np.mean(columns[4])),
-        mean_monitor_ms=float(np.mean(columns[5])),
+        energy=metrics["energy"],
+        skip_rate=metrics["skip_rate"],
+        forced_steps=metrics["forced_steps"],
+        max_violation=metrics["max_violation"],
+        mean_controller_ms=approach.mean_controller_ms,
+        mean_monitor_ms=approach.mean_monitor_ms,
+    )
+
+
+def _comparison_from_cell(cell) -> ScenarioComparison:
+    return ScenarioComparison(
+        scenario=cell.scenario,
+        baseline=_stats_from_cell(cell, "baseline"),
+        approaches={
+            name: _stats_from_cell(cell, name)
+            for name in cell.approaches
+            if name != "baseline"
+        },
     )
 
 
@@ -150,6 +150,8 @@ def evaluate_scenario(
 ) -> ScenarioComparison:
     """Paired baseline-vs-policies comparison on one case study.
 
+    Deprecated thin client of :func:`repro.experiments.run_experiment`
+    (metric-identical — same seed derivation, same engine semantics).
     Each case draws an initial state in ``X'`` and one i.i.d. disturbance
     realisation from the scenario's disturbance factory; every approach
     sees the identical realisation.
@@ -171,43 +173,25 @@ def evaluate_scenario(
     Returns:
         A :class:`ScenarioComparison` for this scenario.
     """
-    if num_cases < 1:
-        raise ValueError("num_cases must be >= 1")
-    if policies is None:
-        policies = default_policies(case)
-    if "baseline" in policies:
-        raise ValueError("'baseline' names the κ-every-step reference leg")
-    rng = np.random.default_rng(seed)
-    initial_states = case.sample_initial_states(rng, num_cases)
-    factory = case.disturbance_factory(horizon)
-    realisations = [
-        factory(i, np.random.default_rng(child))
-        for i, child in enumerate(np.random.SeedSequence(seed).spawn(num_cases))
-    ]
+    from repro.experiments import ExecutionConfig, ExperimentSpec, run_experiment
 
-    approaches: Dict[str, Optional[SkippingPolicy]] = {"baseline": None}
-    approaches.update(policies)
-    collected = paired_evaluation(
-        case.system,
-        case.controller,
-        lambda: case.make_monitor(strict=True),
-        approaches,
-        initial_states,
-        realisations,
-        _metrics_of(case),
-        skip_input=case.skip_input,
+    spec = ExperimentSpec(
+        # The case itself (not case.spec): the experiment runner then
+        # evaluates exactly the object the caller built — customised
+        # controllers/monitors and use_cache=False builds included.
+        scenario=case,
+        approaches=None if policies is None else tuple(policies),
+        num_cases=num_cases,
+        horizon=horizon,
+        seed=seed,
         memory_length=memory_length,
-        engine=engine,
-        jobs=jobs,
-        exact_solves=exact_solves,
+        policies=policies,
     )
-    return ScenarioComparison(
-        scenario=case.name,
-        baseline=_finalize(collected["baseline"]),
-        approaches={
-            name: _finalize(collected[name]) for name in policies
-        },
+    cell = run_experiment(
+        spec,
+        ExecutionConfig(engine=engine, jobs=jobs, exact_solves=exact_solves),
     )
+    return _comparison_from_cell(cell)
 
 
 def sweep_scenarios(
@@ -220,34 +204,47 @@ def sweep_scenarios(
     exact_solves: bool = False,
     policies_factory: Optional[Callable[[CaseStudy], Dict[str, SkippingPolicy]]] = None,
 ) -> List[ScenarioComparison]:
-    """Run :func:`evaluate_scenario` over (a subset of) the registry.
+    """Axis-free paired sweep over (a subset of) the registry.
+
+    Deprecated thin client of :func:`repro.experiments.run_sweep` with
+    the legacy one-process semantics (``shard="none"``: scenarios run
+    sequentially, ``jobs`` only feeds the parallel engine's per-case
+    fan-out).  For sharded grids and parameter axes, build a
+    :class:`~repro.experiments.plan.SweepPlan` directly.
 
     Args:
         names: Scenario names; None sweeps every registered scenario.
         policies_factory: ``case -> policies`` override (defaults to
             :func:`default_policies` per scenario).
-        Remaining arguments: forwarded to :func:`evaluate_scenario`.
+        Remaining arguments: forwarded per scenario.
 
     Returns:
         One :class:`ScenarioComparison` per scenario, in input order.
     """
+    from repro.experiments import (
+        ExecutionConfig,
+        ExperimentSpec,
+        SweepPlan,
+        run_sweep,
+    )
+
     if names is None:
         names = registry.list_scenarios()
-    results = []
-    for name in names:
-        case = registry.build(name)
-        policies = None if policies_factory is None else policies_factory(case)
-        results.append(
-            evaluate_scenario(
-                case,
-                policies=policies,
+    plan = SweepPlan(
+        experiments=[
+            ExperimentSpec(
+                scenario=name,
+                approaches=None,
                 num_cases=num_cases,
                 horizon=horizon,
                 seed=seed,
                 memory_length=1,
-                engine=engine,
-                jobs=jobs,
-                exact_solves=exact_solves,
+                policies=policies_factory,
             )
-        )
-    return results
+            for name in names
+        ],
+        execution=ExecutionConfig(
+            engine=engine, jobs=jobs, exact_solves=exact_solves, shard="none"
+        ),
+    )
+    return [_comparison_from_cell(cell) for cell in run_sweep(plan)]

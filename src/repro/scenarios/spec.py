@@ -18,7 +18,7 @@ changes ``X'`` but nothing else — hash to different keys.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import Optional
 
 import numpy as np
@@ -27,6 +27,17 @@ from repro.geometry import HPolytope
 from repro.utils.validation import as_matrix, as_vector, check_square
 
 __all__ = ["ScenarioSpec", "ScenarioSynthesisError"]
+
+
+def _terse(value) -> str:
+    """Compact human label for an override value (axis-point naming)."""
+    if isinstance(value, float):
+        return format(value, "g")
+    if isinstance(value, (tuple, list)):
+        return "-".join(_terse(item) for item in value)
+    if isinstance(value, np.ndarray):
+        return "-".join(_terse(float(item)) for item in value.ravel())
+    return str(value)
 
 
 class ScenarioSynthesisError(ValueError):
@@ -122,6 +133,15 @@ class ScenarioSpec:
                     f"scenario {self.name!r}: continuous dynamics require "
                     "a positive dt"
                 )
+        if float(self.horizon) != int(self.horizon):
+            # A fractional horizon would silently truncate downstream
+            # (the RMPC and the cache key both take int(horizon)), making
+            # two "distinct" axis points alias one synthesis.
+            raise ValueError(
+                f"scenario {self.name!r}: horizon must be an integer, "
+                f"got {self.horizon!r}"
+            )
+        object.__setattr__(self, "horizon", int(self.horizon))
         if self.horizon < 1:
             raise ValueError(f"scenario {self.name!r}: horizon must be >= 1")
         n, m = A.shape[0], B.shape[1]
@@ -201,6 +221,57 @@ class ScenarioSpec:
         if description is None:
             return replace(self, name=name)
         return replace(self, name=name, description=description)
+
+    def with_overrides(
+        self, label: Optional[str] = None, **replacements
+    ) -> "ScenarioSpec":
+        """A relabelled variant with synthesis fields replaced.
+
+        This is the parameter-axis primitive of the experiment API
+        (:mod:`repro.experiments`): every grid point is
+        ``base.with_overrides(horizon=8, ...)``.  The variant stays
+        cache-correct by construction — :attr:`cache_key` hashes every
+        synthesis-relevant ingredient, so points that differ in any
+        override get distinct builder-cache entries, while the new name
+        (labels are excluded from the hash) keeps listings and result
+        rows distinct.
+
+        Args:
+            label: Suffix for the variant's name (``"{name}@{label}"``);
+                defaults to a ``key=value`` rendering of the overrides.
+            **replacements: Synthesis field replacements (``horizon``,
+                ``state_weight``, ``disturbance_set``, ...).  Labels
+                (``name``/``description``/``source``) are rejected —
+                use ``label`` / :meth:`with_name` for those.
+
+        Raises:
+            ValueError: On unknown or label field names.
+        """
+        valid = {f.name for f in fields(self)}
+        labels = {"name", "description", "source"}
+        bad = sorted(set(replacements) - (valid - labels))
+        if bad:
+            allowed = ", ".join(sorted(valid - labels))
+            raise ValueError(
+                f"scenario {self.name!r}: cannot override {bad} — "
+                f"overridable spec fields are: {allowed}"
+            )
+        if not replacements:
+            spec = self
+        else:
+            spec = replace(self, **replacements)
+        if label is None:
+            label = ",".join(
+                f"{key}={_terse(value)}" for key, value in replacements.items()
+            )
+        elif replacements and not label:
+            # An empty label would leave two specs with identical names
+            # but different synthesis — exactly the ambiguity the rename
+            # exists to prevent.
+            raise ValueError(
+                f"scenario {self.name!r}: overrides need a non-empty label"
+            )
+        return spec.with_name(f"{self.name}@{label}" if label else self.name)
 
     @property
     def cache_key(self) -> str:

@@ -1,9 +1,10 @@
 """Fork-based order-preserving parallel map.
 
 The batch layers (:class:`repro.framework.runner.ParallelBatchRunner`,
-:func:`repro.acc.experiments.evaluate_approaches`) fan episodes out over
-worker processes.  They all go through :func:`fork_map`, which uses the
-``fork`` start method deliberately:
+:func:`repro.acc.experiments.evaluate_approaches`, the sharded grid
+sweeps of :mod:`repro.experiments`) fan work out over worker processes.
+They all go through :func:`fork_map`, which uses the ``fork`` start
+method deliberately:
 
 * the mapped function and its captured objects (plants, controllers,
   polytopes, monitor factories — often lambdas) are *inherited* by the
@@ -12,6 +13,11 @@ worker processes.  They all go through :func:`fork_map`, which uses the
   only thing that must be picklable (flat record dataclasses are);
 * workers receive interleaved index chunks (``indices[j::jobs]``) so a
   systematic easy/hard gradient across the batch load-balances.
+
+Workers stream one message per finished item, and the parent drains all
+pipes concurrently (:func:`multiprocessing.connection.wait`), so an
+optional ``on_result`` callback observes progress as items complete —
+not only when a whole worker finishes.
 
 On platforms without ``fork`` (Windows, macOS spawn default) — or with
 ``jobs=1`` — the map degrades to a plain serial loop with identical
@@ -22,7 +28,8 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from typing import Callable, Iterable, List, Optional, Sequence
+from multiprocessing import connection as mp_connection
+from typing import Callable, Iterable, List, Optional
 
 __all__ = ["fork_map", "fork_available", "resolve_jobs"]
 
@@ -48,18 +55,11 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return int(jobs)
 
 
-def _recv_result(proc, conn):
-    """Read one worker's (status, payload) pair, surviving hard crashes."""
-    try:
-        return conn.recv()
-    except EOFError:
-        return "error", "worker exited without a result (killed or crashed?)"
-
-
 def fork_map(
     fn: Callable,
     items: Iterable,
     jobs: Optional[int] = None,
+    on_result: Optional[Callable[[int, object], None]] = None,
 ) -> List:
     """Map ``fn`` over ``items`` on forked workers, preserving order.
 
@@ -69,6 +69,14 @@ def fork_map(
             value must be picklable.
         items: Finite iterable of inputs (materialised up front).
         jobs: Worker processes; ``None``/0 = one per CPU, 1 = serial.
+            Capped at ``len(items)`` so no worker is ever spawned for an
+            empty index chunk.
+        on_result: Optional ``(index, value)`` progress callback, invoked
+            in the *parent* once per completed item.  Under forked
+            execution items complete in worker-interleaved order, not
+            input order; the returned list is always in input order
+            regardless.  The callback must not raise — an exception
+            aborts the map (workers are terminated) and propagates.
 
     Returns:
         ``[fn(x) for x in items]`` — same values, same order.
@@ -78,42 +86,85 @@ def fork_map(
             the first worker-side error.
     """
     work = list(items)
-    count = resolve_jobs(jobs)
-    count = min(count, len(work))
+    count = min(resolve_jobs(jobs), len(work))
     if count <= 1 or not fork_available():
-        return [fn(item) for item in work]
+        results: List = []
+        for index, item in enumerate(work):
+            value = fn(item)
+            if on_result is not None:
+                on_result(index, value)
+            results.append(value)
+        return results
 
     ctx = mp.get_context("fork")
+    # Interleaved chunks load-balance systematic gradients.  The worker
+    # count is clamped to len(work) above, which already makes every
+    # chunk non-empty; the filter keeps "no worker without work" true
+    # even if the chunking strategy changes.
     chunks = [list(range(j, len(work), count)) for j in range(count)]
+    chunks = [chunk for chunk in chunks if chunk]
 
     def worker(indices, conn):
         try:
-            conn.send(("ok", [(i, fn(work[i])) for i in indices]))
+            for i in indices:
+                conn.send(("item", i, fn(work[i])))
+            conn.send(("done",))
         except BaseException as exc:  # noqa: BLE001 — relayed to the parent
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            try:
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            except OSError:
+                pass
         finally:
             conn.close()
 
     procs = []
+    pending = set()
     for indices in chunks:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(target=worker, args=(indices, child_conn))
         proc.start()
         child_conn.close()
-        procs.append((proc, parent_conn))
+        procs.append(proc)
+        pending.add(parent_conn)
 
-    results: List = [None] * len(work)
+    results = [None] * len(work)
     errors: List[str] = []
-    # Drain every pipe before joining: a worker blocked on a large send
-    # cannot exit, so recv-then-join is the deadlock-free order.
-    for proc, conn in procs:
-        status, payload = _recv_result(proc, conn)
-        if status == "ok":
-            for index, value in payload:
-                results[index] = value
-        else:
-            errors.append(payload)
-    for proc, _conn in procs:
+    try:
+        # Drain every pipe until its worker reports done (or dies): a
+        # worker blocked on a full pipe cannot exit, so continuous
+        # draining before join is the deadlock-free order.
+        while pending:
+            for conn in mp_connection.wait(list(pending)):
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    errors.append(
+                        "worker exited without a result (killed or crashed?)"
+                    )
+                    pending.discard(conn)
+                    conn.close()
+                    continue
+                if message[0] == "item":
+                    _, index, value = message
+                    results[index] = value
+                    if on_result is not None:
+                        on_result(index, value)
+                elif message[0] == "done":
+                    pending.discard(conn)
+                    conn.close()
+                else:
+                    errors.append(message[1])
+                    pending.discard(conn)
+                    conn.close()
+    except BaseException:
+        # A parent-side failure (e.g. the callback raised) would leave
+        # children blocked on their pipes forever — reap them first.
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.join()
+        raise
+    for proc in procs:
         proc.join()
     if errors:
         raise RuntimeError(f"fork_map worker failed: {errors[0]}")

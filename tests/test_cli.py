@@ -78,6 +78,8 @@ class TestParser:
         args = build_parser().parse_args(["sweep"])
         assert args.scenarios is None
         assert (args.cases, args.horizon, args.engine) == (8, 50, "serial")
+        assert args.axis is None
+        assert args.out is None
         args = build_parser().parse_args(
             ["sweep", "--scenarios", "thermal", "pendulum",
              "--cases", "3", "--engine", "lockstep"]
@@ -85,6 +87,24 @@ class TestParser:
         assert args.scenarios == ["thermal", "pendulum"]
         assert args.cases == 3
         assert args.engine == "lockstep"
+
+    def test_sweep_axis_flag(self):
+        args = build_parser().parse_args(
+            ["sweep", "--axis", "horizon=6:12:3",
+             "--axis", "state_weight=0.5:1:2", "--jobs", "2"]
+        )
+        first, second = args.axis
+        assert first.name == "horizon"
+        assert first.values == (6, 9, 12)  # integral values stay ints
+        assert all(isinstance(v, int) for v in first.values)
+        assert second.values == (0.5, 1)
+        assert args.jobs == 2
+
+    def test_sweep_axis_flag_rejects_malformed(self):
+        for bad in ("horizon", "horizon=1:2", "horizon=a:b:c", "=1:2:3",
+                    "horizon=1:2:0"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["sweep", "--axis", bad])
 
 
 class TestExecution:
@@ -181,3 +201,23 @@ class TestExecution:
         assert "thermal" in out
         assert "bang_bang" in out
         assert "all scenarios safe" in out
+
+    def test_sweep_command_with_axis_and_out(self, capsys, tmp_path):
+        out_path = tmp_path / "grid.csv"
+        assert main(
+            ["sweep", "--scenarios", "thermal", "--cases", "2",
+             "--horizon", "6", "--engine", "lockstep",
+             "--axis", "horizon=5:8:2", "--jobs", "2",
+             "--out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s)" in out
+        assert "thermal@horizon=5" in out
+        assert "thermal@horizon=8" in out
+        from repro.experiments import SweepResult
+
+        table = SweepResult.from_csv(str(out_path))
+        assert any(
+            row["key"] == "thermal@horizon=8/bang_bang"
+            for row in table.rows()
+        )

@@ -175,3 +175,45 @@ class TestForkMap:
         assert resolve_jobs(0) >= 1
         with pytest.raises(ValueError):
             resolve_jobs(-2)
+
+    def test_jobs_exceeding_items(self):
+        # Worker count is clamped to len(items): no worker ever receives
+        # an empty index chunk, and results stay order-correct.
+        assert fork_map(lambda x: -x, [4, 5], jobs=16) == [-4, -5]
+        assert fork_map(lambda x: -x, [7], jobs=8) == [-7]
+
+    def test_on_result_serial_in_order(self):
+        seen = []
+        out = fork_map(
+            lambda x: x * 2, [3, 1, 2], jobs=1,
+            on_result=lambda i, v: seen.append((i, v)),
+        )
+        assert out == [6, 2, 4]
+        assert seen == [(0, 6), (1, 2), (2, 4)]
+
+    def test_on_result_empty_items(self):
+        seen = []
+        assert fork_map(lambda x: x, [], jobs=4,
+                        on_result=lambda i, v: seen.append(i)) == []
+        assert seen == []
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork start method")
+    def test_on_result_forked_covers_every_item(self):
+        seen = []
+        items = list(range(9))
+        out = fork_map(
+            lambda x: x * x, items, jobs=3,
+            on_result=lambda i, v: seen.append((i, v)),
+        )
+        assert out == [x * x for x in items]
+        # Completion order is worker-interleaved, but every item reports
+        # exactly once with its input-order index.
+        assert sorted(seen) == [(i, i * i) for i in items]
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork start method")
+    def test_on_result_exception_propagates_and_reaps_workers(self):
+        def cb(i, v):
+            raise RuntimeError("callback blew up")
+
+        with pytest.raises(RuntimeError, match="callback blew up"):
+            fork_map(lambda x: x, range(6), jobs=2, on_result=cb)

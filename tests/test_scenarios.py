@@ -111,6 +111,40 @@ class TestScenarioSpec:
         assert renamed.description == "new words"
         assert renamed.cache_key == spec.cache_key
 
+    def test_with_overrides_relabels_and_rekeys(self):
+        # The parameter-axis primitive: one changed override => a new
+        # name (distinct listings/rows) AND a new cache key (distinct
+        # builder-cache entry) — extending the skip-input no-collision
+        # guarantee to arbitrary axis points.
+        base = thermal_like_spec()
+        a = base.with_overrides(horizon=6)
+        b = base.with_overrides(horizon=7)
+        assert a.name == "test_thermal@horizon=6"
+        assert b.name == "test_thermal@horizon=7"
+        assert len({base.cache_key, a.cache_key, b.cache_key}) == 3
+        # A pure relabel (no overrides) keeps sharing the synthesis.
+        assert base.with_overrides(label="alias").cache_key == base.cache_key
+
+    def test_with_overrides_rejects_label_fields(self):
+        with pytest.raises(ValueError, match="overridable"):
+            thermal_like_spec().with_overrides(description="nope")
+
+    def test_fractional_horizon_rejected_integral_coerced(self):
+        # int(horizon) feeds both the RMPC and the cache key, so a
+        # fractional axis point would silently alias its floor's
+        # synthesis; integral floats are fine and normalised to int.
+        with pytest.raises(ValueError, match="horizon must be an integer"):
+            thermal_like_spec(horizon=5.5)
+        spec = thermal_like_spec(horizon=5.0)
+        assert spec.horizon == 5 and isinstance(spec.horizon, int)
+        assert spec.cache_key == thermal_like_spec(horizon=5).cache_key
+
+    def test_with_overrides_rejects_empty_label_with_overrides(self):
+        # An empty label would alias two different syntheses under one
+        # name; the rename invariant forbids it.
+        with pytest.raises(ValueError, match="non-empty label"):
+            thermal_like_spec().with_overrides(label="", horizon=6)
+
 
 class TestBuilder:
     def test_builds_certified_nested_sets(self):
