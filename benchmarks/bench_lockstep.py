@@ -33,6 +33,17 @@ Two controller configurations are timed:
   ``exact_solves=True`` audit mode, which keeps the scalar path and so
   bounds what the engine alone buys.
 
+A third section times the *LP backends* head to head on the stacked
+κ_R solve itself (``--warm-steps N``): the same receding-horizon batch
+sequence is solved by the cold scipy path (every step re-factorises)
+and — when the optional ``highspy`` extra is installed — by the
+warm-started persistent-HiGHS backend (the model is passed once, each
+step only rewrites the initial-state equality RHS and reuses the
+incumbent basis).  The row is judged by *solve time per lockstep step*;
+both backends must attain identical per-step total optimal cost
+(plan-equivalent tier).  Without ``highspy`` the highs row is skipped
+and the artifact records ``highs_available: false``.
+
 Every run also writes a ``BENCH_lockstep.json`` perf-trajectory artifact
 (per-row episodes/sec + speedups, machine info) so successive commits
 can be compared; disable with ``--artifact ''``.
@@ -173,6 +184,89 @@ def run_benchmark(
     }
 
 
+def run_warm_start_benchmark(
+    episodes: int,
+    steps: int,
+    seed: int,
+    case=None,
+) -> dict:
+    """Solve-time per lockstep step of the stacked κ_R solve, per backend.
+
+    Materialises one nominal receding-horizon state sequence (each step's
+    batch is the previous step's planned next states), then times each
+    backend over the *identical* sequence — so the scipy row pays a cold
+    stacked solve per step while the highs row warm-starts from the
+    previous basis, and their per-step total costs must agree within the
+    plan-equivalent tolerance.
+
+    Returns:
+        Dict with ``highs_available``, per-backend rows (seconds,
+        solve-ms/step, speedup over scipy, max per-step cost deviation,
+        ``ok``) and the workload shape.
+    """
+    from repro.utils.lp import reset_stack_cache_stats
+    from repro.utils.lp_backends import highs_available
+
+    if case is None:
+        case = build_case_study()
+    mpc = case.mpc
+    states = case.sample_initial_states(np.random.default_rng(seed), episodes)
+
+    # Reference rollout (scipy): fixes the batches both backends solve
+    # and the per-step total optimal costs they must both attain.
+    mpc.set_lp_backend("scipy")
+    sequence = [states]
+    reference_costs = []
+    for _ in range(steps):
+        solutions = mpc.solve_batch(sequence[-1])
+        reference_costs.append(sum(sol.cost for sol in solutions))
+        sequence.append(np.stack([sol.states[1] for sol in solutions]))
+    sequence = sequence[:steps]
+    tol = 1e-8 * max(1, episodes)
+
+    rows = []
+    backends = ["scipy"] + (["highs"] if highs_available() else [])
+    scipy_seconds = None
+    for backend in backends:
+        mpc.set_lp_backend(backend)
+        mpc.release_stacks()  # cold start for every timed row
+        reset_stack_cache_stats()
+        max_cost_diff = 0.0
+        tick = time.perf_counter()
+        for step_states, reference in zip(sequence, reference_costs):
+            solutions = mpc.solve_batch(step_states)
+            max_cost_diff = max(
+                max_cost_diff,
+                abs(sum(sol.cost for sol in solutions) - reference),
+            )
+        seconds = time.perf_counter() - tick
+        if backend == "scipy":
+            scipy_seconds = seconds
+        rows.append(
+            {
+                "backend": backend,
+                "seconds": seconds,
+                "solve_ms_per_step": 1e3 * seconds / steps,
+                "speedup_vs_scipy": scipy_seconds / seconds,
+                "warm_solves": getattr(mpc._persistent, "warm_solves", 0)
+                if backend == "highs"
+                else 0,
+                "max_cost_diff": max_cost_diff,
+                "ok": max_cost_diff <= tol,
+            }
+        )
+    mpc.set_lp_backend("auto")
+    mpc.release_stacks()
+    return {
+        "episodes": episodes,
+        "steps": steps,
+        "seed": seed,
+        "highs_available": highs_available(),
+        "cost_tolerance": tol,
+        "rows": rows,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--episodes", type=int, default=256)
@@ -187,6 +281,12 @@ def main(argv=None) -> int:
         "--controllers", nargs="+", default=["linear", "rmpc"],
         choices=["linear", "rmpc"],
         help="controller configurations to bench",
+    )
+    parser.add_argument(
+        "--warm-steps", type=int, default=8, dest="warm_steps",
+        help="lockstep steps for the LP-backend warm-start section "
+             "(0 disables; the highs row needs the optional highspy extra "
+             "and is skipped without it)",
     )
     parser.add_argument(
         "--artifact", default="BENCH_lockstep.json",
@@ -214,25 +314,55 @@ def main(argv=None) -> int:
             f"{row['speedup']:>7.2f}x {row['contract']:>15} "
             f"{str(row['ok']):>5}"
         )
+    if args.warm_steps > 0 and "rmpc" in args.controllers:
+        warm = run_warm_start_benchmark(
+            args.episodes, args.warm_steps, args.seed
+        )
+        report["warm_start"] = warm
+        highspy_note = (
+            "installed" if warm["highs_available"]
+            else "absent — highs row skipped"
+        )
+        print(
+            f"\nwarm-start (stacked κ_R solve, {warm['episodes']} episodes x "
+            f"{warm['steps']} steps, highspy {highspy_note})"
+        )
+        print(
+            f"{'backend':<8} {'sec':>8} {'solve ms/step':>14} "
+            f"{'vs scipy':>9} {'ok':>5}"
+        )
+        for row in warm["rows"]:
+            print(
+                f"{row['backend']:<8} {row['seconds']:>8.2f} "
+                f"{row['solve_ms_per_step']:>14.1f} "
+                f"{row['speedup_vs_scipy']:>8.2f}x {str(row['ok']):>5}"
+            )
     for path in (args.artifact, args.json):
         if path:
             with open(path, "w") as handle:
                 json.dump(report, handle, indent=2)
             print(f"report written to {path}")
     failed = [row for row in report["rows"] if not row["ok"]]
-    if failed:
-        for row in failed:
+    for row in report.get("warm_start", {}).get("rows", ()):
+        if not row["ok"]:
+            failed.append(row)
             print(
-                f"ERROR: {row['controller']}/{row['engine']} failed its "
-                f"{row['contract']} determinism check"
-                + (
-                    f" ({row['equivalence']})"
-                    if row["equivalence"] is not None
-                    else ""
-                )
+                f"ERROR: warm-start backend {row['backend']} deviated from "
+                f"the reference costs (max diff {row['max_cost_diff']:.2e})"
             )
-        return 1
-    return 0
+    for row in failed:
+        if "engine" not in row:
+            continue  # warm-start failure, already printed above
+        print(
+            f"ERROR: {row['controller']}/{row['engine']} failed its "
+            f"{row['contract']} determinism check"
+            + (
+                f" ({row['equivalence']})"
+                if row["equivalence"] is not None
+                else ""
+            )
+        )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -25,4 +25,10 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy", "scipy"],
+    extras_require={
+        # Warm-started persistent-HiGHS LP backend for the stacked RMPC
+        # solves (repro.utils.lp_backends); everything falls back to the
+        # scipy linprog path without it.
+        "highs": ["highspy"],
+    },
 )

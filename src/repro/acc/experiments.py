@@ -293,6 +293,7 @@ def evaluate_approaches(
     jobs: int = 1,
     engine: Optional[str] = None,
     exact_solves: bool = False,
+    lp_backend: Optional[str] = None,
 ) -> ComparisonResult:
     """Run the paired three-way comparison of the paper's Sec. IV.
 
@@ -337,6 +338,9 @@ def evaluate_approaches(
         exact_solves: Lockstep only — keep κ_R on the scalar solve path
             for bitwise parity with the serial engine instead of the
             plan-equivalent stacked solve.
+        lp_backend: Lockstep only — stacked-solve backend request
+            (``auto|highs|scipy``; see :mod:`repro.utils.lp_backends`).
+            ``None`` keeps the controller's own setting.
 
     Returns:
         A :class:`ComparisonResult`.
@@ -372,7 +376,10 @@ def evaluate_approaches(
     )
     cell = run_experiment(
         spec,
-        ExecutionConfig(engine=engine, jobs=jobs, exact_solves=exact_solves),
+        ExecutionConfig(
+            engine=engine, jobs=jobs, exact_solves=exact_solves,
+            lp_backend=lp_backend,
+        ),
     )
 
     def finalize(name: str) -> ApproachStats:

@@ -70,6 +70,7 @@ def _cmd_compare(args) -> int:
         case, args.experiment, num_cases=args.cases, horizon=args.horizon,
         seed=args.seed + 1, agent=agent, jobs=args.jobs,
         engine=_resolve_engine(args), exact_solves=args.exact_solves,
+        lp_backend=args.lp_backend,
     )
     print(f"\n{'approach':<12} {'fuel[g]':>8} {'saving':>8} {'skip%':>6}")
     print(f"{'RMPC-only':<12} {result.rmpc_only.fuel.mean():8.2f} {'-':>8} {0:5d}%")
@@ -99,6 +100,7 @@ def _cmd_experiment(args) -> int:
         case, args.name, num_cases=args.cases, horizon=args.horizon,
         seed=args.seed + 1, agent=agent, jobs=args.jobs,
         engine=_resolve_engine(args), exact_solves=args.exact_solves,
+        lp_backend=args.lp_backend,
     )
     print(
         f"{args.name}: DRL saving {100*result.fuel_saving('drl').mean():.2f}%  "
@@ -194,7 +196,8 @@ def _cmd_sweep(args) -> int:
         seed=args.seed,
     )
     execution = ExecutionConfig(
-        engine=args.engine, jobs=args.jobs, exact_solves=args.exact_solves
+        engine=args.engine, jobs=args.jobs, exact_solves=args.exact_solves,
+        lp_backend=args.lp_backend,
     )
     cells = len(plan.cells())
     print(
@@ -274,7 +277,8 @@ def _cmd_batch(args) -> int:
     else:
         runner = BatchRunner(
             case.system, controller, engine=engine,
-            exact_solves=args.exact_solves, **common,
+            exact_solves=args.exact_solves, lp_backend=args.lp_backend,
+            **common,
         )
     rng = np.random.default_rng(args.seed)
     states = case.sample_initial_states(rng, args.episodes)
@@ -338,6 +342,20 @@ def _add_engine_flag(parser) -> None:
         help="lockstep only: keep MPC solves on the scalar path for "
              "record-for-record parity with the serial engine (default: "
              "stacked block-diagonal solves, plan-equivalent)",
+    )
+    _add_lp_backend_flag(parser)
+
+
+def _add_lp_backend_flag(parser) -> None:
+    """Attach the shared ``--lp-backend`` choice to a subcommand parser."""
+    parser.add_argument(
+        "--lp-backend", choices=("auto", "highs", "scipy"), default=None,
+        dest="lp_backend",
+        help="lockstep only: stacked-solve LP backend ('auto' = "
+             "warm-started persistent HiGHS when highspy is installed, "
+             "scipy otherwise; 'highs' requires highspy; 'scipy' forces "
+             "the linprog path); default: keep each controller's own "
+             "setting",
     )
 
 
@@ -468,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="lockstep only: scalar MPC solves for record-for-record "
              "parity with the serial engine",
     )
+    _add_lp_backend_flag(p_swp)
     p_swp.add_argument(
         "--out", default=None,
         help="write the sweep table to this path (.csv for the flat "

@@ -15,19 +15,38 @@ CSR — the LP data is mostly structural zeros); each call only rewrites
 the initial-state equality right-hand side, into a per-call copy.
 
 Batch solving: :meth:`RobustMPC.solve_batch` stacks the ``k`` per-state
-Eq.-5 problems into one block-diagonal HiGHS solve via
-:func:`repro.utils.lp.solve_lp_batch` — the blocks share every matrix
-and differ only in the initial-state equality RHS.  Each block attains
-exactly the scalar optimum *value*, but when an LP has multiple optimal
-vertices the stacked solve may return a different one than ``k`` scalar
-solves would — the *plan-equivalent* tier of the determinism contract
-(see :mod:`repro.framework.lockstep`), which is why the class declares
-``bitwise_batch = False``.
+Eq.-5 problems into one block-diagonal HiGHS solve — the blocks share
+every matrix and differ only in the initial-state equality RHS.  Two
+backends can run the stack (selected by the ``lp_backend`` argument,
+``auto|highs|scipy`` — see :mod:`repro.utils.lp_backends`):
 
-Thread-safety contract: after construction, all solve paths treat the
-assembled LP data as read-only (right-hand sides are modified on
-per-call copies), so one controller instance is safe to share across
-forked workers and re-entrant calls.  The only mutable state is the
+* ``scipy`` — :func:`repro.utils.lp.solve_lp_batch` over this
+  controller's owned :class:`~repro.utils.lp.BlockStack`; every call
+  re-factorises from scratch.  Always available.
+* ``highs`` — a :class:`~repro.utils.lp_backends.PersistentStackSolver`
+  owned by this controller: the stacked model is passed to a persistent
+  ``highspy.Highs`` instance once and subsequent calls only rewrite the
+  initial-state equality RHS, warm-starting from the previous solve's
+  basis.  Needs the optional ``highspy`` extra; ``auto`` falls back to
+  scipy without it.
+
+Under either backend each block attains exactly the scalar optimum
+*value*, but when an LP has multiple optimal vertices the stacked solve
+may return a different one than ``k`` scalar solves would (and a
+warm-started solve a different one than a cold one) — the
+*plan-equivalent* tier of the determinism contract (see
+:mod:`repro.framework.lockstep`), which is why the class declares
+``bitwise_batch = False``.  The scalar path (and with it the
+``exact_solves=True`` audit tier) always uses scipy's ``linprog`` and is
+therefore backend-invariant.
+
+Thread-safety contract: after construction, the scalar solve paths
+treat the assembled LP data as read-only (right-hand sides are modified
+on per-call copies), so one controller instance is safe to share across
+forked workers and re-entrant *scalar* calls.  :meth:`solve_batch` under
+the ``highs`` backend mutates its persistent solver in place and is not
+re-entrant (forked workers are fine — the solver is built lazily, so
+each worker builds its own).  The remaining mutable state is the
 ``solve_count`` accounting counter, whose increments are not atomic —
 exact counts are only guaranteed for unthreaded use (forked workers each
 count their own copy).
@@ -48,7 +67,8 @@ from repro.controllers.tightening import tightened_constraints
 from repro.geometry import HPolytope
 from repro.invariance.rci import maximal_rpi
 from repro.systems.lti import DiscreteLTISystem
-from repro.utils.lp import LPError, solve_lp_batch
+from repro.utils.lp import BlockStack, LPError, solve_lp_batch
+from repro.utils.lp_backends import BACKENDS, resolve_backend
 from repro.utils.validation import as_vector
 
 __all__ = [
@@ -113,6 +133,10 @@ class RobustMPC(Controller):
             set.  When None, an LQR gain with identity weights is used.
         tighten_with_closed_loop: If True, propagate the disturbance with
             ``A + B K`` (Chisci) instead of the paper's open-loop ``A``.
+        lp_backend: Stacked-solve backend request — ``"auto"`` (default:
+            warm-started persistent HiGHS when ``highspy`` is installed,
+            scipy otherwise), ``"highs"`` or ``"scipy"``.  Scalar solves
+            always use scipy (see the module docstring).
     """
 
     #: A stacked :meth:`solve_batch` may return a different optimal vertex
@@ -130,9 +154,15 @@ class RobustMPC(Controller):
         terminal_set: Optional[HPolytope] = None,
         tube_gain=None,
         tighten_with_closed_loop: bool = False,
+        lp_backend: str = "auto",
     ):
         if horizon < 1:
             raise ValueError("horizon must be >= 1")
+        if lp_backend not in BACKENDS:
+            raise ValueError(
+                f"lp_backend must be one of {BACKENDS}, got {lp_backend!r}"
+            )
+        self.lp_backend = lp_backend
         self.system = system
         self.horizon = int(horizon)
         self.state_weight = float(state_weight)
@@ -160,6 +190,13 @@ class RobustMPC(Controller):
         self.terminal_set = terminal_set
 
         self._assemble_lp()
+        # This controller owns its stacks: the scipy backend's CSR stacks
+        # live on the BlockStack, the highs backend's persistent models
+        # on the lazily-built PersistentStackSolver — nothing is pinned
+        # in the module-level LRU cache, so dropping the controller
+        # reclaims everything (see repro.utils.lp).
+        self._stack = BlockStack(self._A_ub, self._A_eq)
+        self._persistent = None
         self._solve_count = 0
 
     # ------------------------------------------------------------------
@@ -306,20 +343,70 @@ class RobustMPC(Controller):
         self._solve_count += 1
         return self._unpack(res.x, res.fun)
 
+    def set_lp_backend(self, backend: str) -> None:
+        """Re-select the stacked-solve backend (``auto|highs|scipy``).
+
+        The execution engines call this to thread an
+        :class:`~repro.experiments.execution.ExecutionConfig` /
+        CLI backend choice down to the controller.  Sticky: the setting
+        persists until changed again.  An already-built persistent
+        solver is kept (switching back to ``highs`` reuses its
+        warm-started models).
+        """
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"lp_backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        self.lp_backend = backend
+
+    def _persistent_solver(self):
+        """The owned warm-started HiGHS solver, built on first use."""
+        if self._persistent is None:
+            from repro.utils.lp_backends import PersistentStackSolver
+
+            self._persistent = PersistentStackSolver(
+                cost=self._cost,
+                a_ub=self._A_ub,
+                b_ub=self._b_ub,
+                a_eq=self._A_eq,
+                b_eq=self._b_eq,
+                varying_eq_rows=np.arange(
+                    self._x0_rows.start, self._x0_rows.stop
+                ),
+            )
+        return self._persistent
+
+    def release_stacks(self) -> None:
+        """Eagerly free the owned CSR stacks and persistent HiGHS models.
+
+        Purely a memory knob — both are rebuilt transparently on the
+        next :meth:`solve_batch`.  (Dropping the controller reclaims
+        them anyway; nothing lives in a global cache.)
+        """
+        self._stack.release()
+        if self._persistent is not None:
+            self._persistent.release()
+            self._persistent = None
+
     def solve_batch(self, states) -> List[RMPCSolution]:
         """Solve Eq. (5) at every row of ``states`` in one stacked LP.
 
         The ``k`` per-state problems share every constraint matrix and
-        differ only in the initial-state equality RHS, so they stack into
-        a single block-diagonal HiGHS solve (the CSR stack is cached in
-        :mod:`repro.utils.lp`).  Each returned plan attains exactly the
-        scalar optimum value; the optimal vertex may differ when the LP
-        is degenerate (plan-equivalent tier).  Counts ``k`` solves.
+        differ only in the initial-state equality RHS, so they stack
+        into a single block-diagonal solve, run by the backend selected
+        via ``lp_backend`` — the warm-started persistent-HiGHS solver or
+        the scipy rebuild path (see the class docstring).  Each returned
+        plan attains exactly the scalar optimum value; the optimal
+        vertex may differ when the LP is degenerate (plan-equivalent
+        tier).  Counts ``k`` solves.
 
         If the stacked solve fails — any single infeasible state sinks
-        the whole stack, and HiGHS does not say which block — the rows
-        are re-solved scalar so the offending episode is attributed
-        exactly: the raised :class:`RMPCInfeasibleError` names its state.
+        the whole stack, and the solver does not say which block — the
+        rows are re-solved scalar so the offending episode is attributed
+        exactly: the raised :class:`RMPCInfeasibleError` names its
+        state.  Accounting stays consistent under the fallback: the
+        failed stacked attempt counts zero (it produced no plans) and
+        each successful scalar re-solve counts one, under both backends.
 
         Returns:
             ``k`` :class:`RMPCSolution`, aligned with the input rows.
@@ -333,19 +420,32 @@ class RobustMPC(Controller):
         if X.shape[1] != self.system.n:
             raise ValueError("state dimension mismatch")
         k = X.shape[0]
-        b_eq = np.tile(self._b_eq, (k, 1))
-        b_eq[:, self._x0_rows] = X
         try:
-            solutions = solve_lp_batch(
-                np.tile(self._cost, (k, 1)),
-                self._A_ub,
-                self._b_ub,
-                a_eq=self._A_eq,
-                b_eq=b_eq,
-            )
+            if k > 1 and resolve_backend(self.lp_backend) == "highs":
+                # Persistent warm-started stack: only the initial-state
+                # equality RHS is rewritten between calls.  All-or-
+                # nothing: a failed chunk discards every chunk's result
+                # before the fallback, so nothing is counted twice.
+                solutions = self._persistent_solver().solve_batch(X)
+            else:
+                # k == 1 delegates to the scalar solver inside
+                # solve_lp_batch (bitwise with solve()) regardless of
+                # backend, so the single-row contract is backend-free.
+                b_eq = np.tile(self._b_eq, (k, 1))
+                b_eq[:, self._x0_rows] = X
+                solutions = solve_lp_batch(
+                    np.tile(self._cost, (k, 1)),
+                    self._A_ub,
+                    self._b_ub,
+                    a_eq=self._A_eq,
+                    b_eq=b_eq,
+                    stack=self._stack,
+                )
         except LPError:
             # Scalar fallback: re-solve row by row so the infeasibility
             # (or numerical failure) is attributed to the exact episode.
+            # solve() does the per-row counting; the failed stacked
+            # attempt deliberately counts nothing.
             return [self.solve(x) for x in X]
         self._solve_count += k
         return [self._unpack(sol.x, sol.value) for sol in solutions]

@@ -18,8 +18,10 @@ bitwise; request ``exact_solves=True`` for record-for-record audits.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.framework.evaluation import ENGINES
+from repro.utils.lp_backends import BACKENDS
 
 __all__ = ["ExecutionConfig", "SHARD_STRATEGIES"]
 
@@ -42,6 +44,14 @@ class ExecutionConfig:
         exact_solves: Lockstep only — keep MPC solves on the scalar path
             for record-for-record parity with the serial engine instead
             of the plan-equivalent stacked solve.
+        lp_backend: Lockstep only — stacked-solve backend request
+            (``"auto"``: warm-started persistent HiGHS when ``highspy``
+            is installed, scipy otherwise; ``"highs"``; ``"scipy"``; see
+            :mod:`repro.utils.lp_backends`).  ``None`` (default) keeps
+            each controller's own setting.  Deterministic metrics are
+            backend-invariant only at the plan-equivalent tier; pass
+            ``exact_solves=True`` for bitwise (and trivially
+            backend-invariant) audits.
         shard: ``"cell"`` — fan whole grid cells out over
             :func:`repro.utils.parallel.fork_map` workers;
             ``"none"`` — evaluate cells sequentially in-process (``jobs``
@@ -54,6 +64,7 @@ class ExecutionConfig:
     engine: str = "serial"
     jobs: int = 1
     exact_solves: bool = False
+    lp_backend: Optional[str] = None
     shard: str = "auto"
 
     def __post_init__(self):
@@ -63,6 +74,11 @@ class ExecutionConfig:
             )
         if self.jobs < 0:
             raise ValueError("jobs must be >= 0 (0 = one worker per CPU)")
+        if self.lp_backend is not None and self.lp_backend not in BACKENDS:
+            raise ValueError(
+                f"lp_backend must be None or one of {BACKENDS}, "
+                f"got {self.lp_backend!r}"
+            )
         if self.shard not in SHARD_STRATEGIES:
             raise ValueError(
                 f"shard must be one of {SHARD_STRATEGIES}, got {self.shard!r}"

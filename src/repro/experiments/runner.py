@@ -384,6 +384,7 @@ def _evaluate_cell(
         engine=execution.engine,
         jobs=inner_jobs,
         exact_solves=execution.exact_solves,
+        lp_backend=execution.lp_backend,
     )
     return CellResult(
         key=cell.key,
@@ -396,6 +397,7 @@ def _evaluate_cell(
             "memory_length": spec.memory_length,
             "engine": execution.engine,
             "exact_solves": execution.exact_solves,
+            "lp_backend": execution.lp_backend,
             "pattern": spec.pattern,
         },
         approaches={

@@ -69,6 +69,7 @@ def paired_evaluation(
     engine: str = "serial",
     jobs: int = 1,
     exact_solves: bool = False,
+    lp_backend: Optional[str] = None,
 ) -> Dict[str, List[tuple]]:
     """Run every approach over every case; collect per-case metric tuples.
 
@@ -94,6 +95,12 @@ def paired_evaluation(
             non-bitwise (stacked LP) controllers so results match the
             serial engine record for record; the default stacked path is
             plan-equivalent (see :mod:`repro.framework.lockstep`).
+        lp_backend: Lockstep only — stacked-solve backend request
+            (``auto|highs|scipy``; :mod:`repro.utils.lp_backends`)
+            threaded to controllers exposing ``set_lp_backend``; ``None``
+            keeps the controller's own setting.  The serial/parallel
+            engines and ``exact_solves`` audits always use scalar scipy
+            solves and are backend-invariant.
 
     Returns:
         Approach name → list of ``N`` metric tuples in case order.
@@ -132,6 +139,7 @@ def paired_evaluation(
                     initial_states,
                     realisations,
                     exact_solves=exact_solves,
+                    lp_backend=lp_backend,
                 )
             else:
                 stats_list = run_lockstep(
@@ -144,6 +152,7 @@ def paired_evaluation(
                     skip_input=skip_input,
                     memory_length=memory_length,
                     exact_solves=exact_solves,
+                    lp_backend=lp_backend,
                 )
             collected[name] = [metrics_of(stats) for stats in stats_list]
         return collected

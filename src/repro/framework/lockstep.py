@@ -82,14 +82,21 @@ from repro.utils.validation import as_vector
 __all__ = ["run_lockstep", "lockstep_controller_only"]
 
 
-def _batch_compute_fn(controller: Controller, exact_solves: bool):
+def _batch_compute_fn(
+    controller: Controller, exact_solves: bool, lp_backend=None
+):
     """The engine's per-step κ evaluator under the two-tier contract.
 
     ``exact_solves`` only changes anything for controllers that declare
     ``bitwise_batch = False``: their stacked batch path is swapped for
     the row-by-row scalar reference, restoring bitwise parity with the
-    serial engine.
+    serial engine.  A non-None ``lp_backend`` is threaded down to
+    controllers that expose ``set_lp_backend`` (stacked-LP solvers;
+    sticky for the controller) and ignored by everything else — the
+    scalar/exact path is backend-invariant by construction.
     """
+    if lp_backend is not None and hasattr(controller, "set_lp_backend"):
+        controller.set_lp_backend(lp_backend)
     if exact_solves and not getattr(controller, "bitwise_batch", True):
         return controller.compute_rowwise
     return controller.compute_batch
@@ -159,6 +166,7 @@ def run_lockstep(
     memory_length: int = 1,
     reveal_future: bool = False,
     exact_solves: bool = False,
+    lp_backend: Optional[str] = None,
 ) -> List[RunStats]:
     """Run ``N`` Algorithm-1 episodes in lockstep.
 
@@ -185,6 +193,11 @@ def run_lockstep(
             through the row-by-row scalar path for record-for-record
             parity with the serial engine (see the module's two-tier
             determinism contract).  No effect on bitwise controllers.
+        lp_backend: Stacked-solve backend request (``auto|highs|scipy``,
+            see :mod:`repro.utils.lp_backends`) applied to controllers
+            exposing ``set_lp_backend``; ``None`` (default) leaves the
+            controller's own setting untouched.  Irrelevant under
+            ``exact_solves`` (the scalar path is backend-invariant).
 
     Returns:
         ``N`` :class:`RunStats`, aligned with the inputs.
@@ -237,7 +250,7 @@ def run_lockstep(
     for policy in policies:
         policy.reset()
     controller.reset()
-    compute_batch = _batch_compute_fn(controller, exact_solves)
+    compute_batch = _batch_compute_fn(controller, exact_solves, lp_backend)
 
     states = np.empty((count, t_max + 1, n))
     inputs = np.zeros((count, t_max, m))
@@ -335,13 +348,17 @@ def lockstep_controller_only(
     initial_states,
     realisations,
     exact_solves: bool = False,
+    lp_backend: Optional[str] = None,
 ) -> List[RunStats]:
     """Vectorised :func:`~repro.framework.intermittent.run_controller_only`.
 
     κ runs on every row of every step (no monitor, no skipping) — the
     RMPC-only baseline leg of ``evaluate_approaches``, in lockstep.
-    ``exact_solves`` selects the determinism tier exactly as in
-    :func:`run_lockstep`.
+    ``exact_solves`` and ``lp_backend`` select the determinism tier and
+    stacked-solve backend exactly as in :func:`run_lockstep`.  This is
+    the workload where the warm-started ``highs`` backend shines: the
+    stacked LP is identical every step except for its initial-state RHS,
+    at a constant batch height.
 
     Returns:
         ``N`` :class:`RunStats` with all decisions 1 and zero monitor time.
@@ -354,7 +371,7 @@ def lockstep_controller_only(
     W, horizons = _padded_realisations(realisations, n)
     t_max = W.shape[1]
     controller.reset()
-    compute_batch = _batch_compute_fn(controller, exact_solves)
+    compute_batch = _batch_compute_fn(controller, exact_solves, lp_backend)
 
     states = np.empty((count, t_max + 1, n))
     inputs = np.zeros((count, t_max, m))

@@ -275,6 +275,12 @@ class BatchRunner:
             for bitwise record-for-record parity with the serial engine
             (the default stacked path is *plan-equivalent*; see the
             two-tier contract in :mod:`repro.framework.lockstep`).
+        lp_backend: Lockstep only — stacked-solve backend request
+            (``auto|highs|scipy``; :mod:`repro.utils.lp_backends`)
+            applied to controllers exposing ``set_lp_backend``.  ``None``
+            (default) leaves the controller's own setting untouched; the
+            serial engine and ``exact_solves`` audits are
+            backend-invariant (scalar scipy solves either way).
     """
 
     def __init__(
@@ -288,6 +294,7 @@ class BatchRunner:
         reveal_future: bool = False,
         engine: str = "serial",
         exact_solves: bool = False,
+        lp_backend: Optional[str] = None,
     ):
         if engine not in ("serial", "lockstep"):
             raise ValueError(
@@ -303,6 +310,7 @@ class BatchRunner:
         self.reveal_future = reveal_future
         self.engine = engine
         self.exact_solves = exact_solves
+        self.lp_backend = lp_backend
         self._policy_takes_rng = _accepts_rng(policy_factory)
 
     # ------------------------------------------------------------------
@@ -385,6 +393,7 @@ class BatchRunner:
                 memory_length=self.memory_length,
                 reveal_future=self.reveal_future,
                 exact_solves=self.exact_solves,
+                lp_backend=self.lp_backend,
             )
             for episode, stats in enumerate(stats_list):
                 result.append(self._record(episode, stats))
@@ -473,6 +482,7 @@ class LockstepEngine(BatchRunner):
         memory_length: int = 1,
         reveal_future: bool = False,
         exact_solves: bool = False,
+        lp_backend: Optional[str] = None,
     ):
         super().__init__(
             system,
@@ -484,6 +494,7 @@ class LockstepEngine(BatchRunner):
             reveal_future=reveal_future,
             engine="lockstep",
             exact_solves=exact_solves,
+            lp_backend=lp_backend,
         )
 
 

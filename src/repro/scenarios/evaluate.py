@@ -147,6 +147,7 @@ def evaluate_scenario(
     engine: str = "serial",
     jobs: int = 1,
     exact_solves: bool = False,
+    lp_backend: Optional[str] = None,
 ) -> ScenarioComparison:
     """Paired baseline-vs-policies comparison on one case study.
 
@@ -169,6 +170,9 @@ def evaluate_scenario(
         exact_solves: Lockstep only — scalar solves for non-bitwise
             controllers (RMPC scenarios), trading the stacked-LP speedup
             for record-for-record parity with the serial engine.
+        lp_backend: Lockstep only — stacked-solve backend request
+            (``auto|highs|scipy``); ``None`` keeps each controller's
+            own setting.
 
     Returns:
         A :class:`ScenarioComparison` for this scenario.
@@ -189,7 +193,12 @@ def evaluate_scenario(
     )
     cell = run_experiment(
         spec,
-        ExecutionConfig(engine=engine, jobs=jobs, exact_solves=exact_solves),
+        ExecutionConfig(
+            engine=engine,
+            jobs=jobs,
+            exact_solves=exact_solves,
+            lp_backend=lp_backend,
+        ),
     )
     return _comparison_from_cell(cell)
 
@@ -202,6 +211,7 @@ def sweep_scenarios(
     engine: str = "serial",
     jobs: int = 1,
     exact_solves: bool = False,
+    lp_backend: Optional[str] = None,
     policies_factory: Optional[Callable[[CaseStudy], Dict[str, SkippingPolicy]]] = None,
 ) -> List[ScenarioComparison]:
     """Axis-free paired sweep over (a subset of) the registry.
@@ -244,7 +254,11 @@ def sweep_scenarios(
             for name in names
         ],
         execution=ExecutionConfig(
-            engine=engine, jobs=jobs, exact_solves=exact_solves, shard="none"
+            engine=engine,
+            jobs=jobs,
+            exact_solves=exact_solves,
+            lp_backend=lp_backend,
+            shard="none",
         ),
     )
     return [_comparison_from_cell(cell) for cell in run_sweep(plan)]

@@ -19,12 +19,14 @@ from scipy.optimize import linprog
 __all__ = [
     "LPError",
     "LPSolution",
+    "BlockStack",
     "solve_lp",
     "lp_feasible",
     "maximize",
     "solve_lp_batch",
     "maximize_batch",
     "stack_cache_stats",
+    "reset_stack_cache_stats",
 ]
 
 
@@ -32,31 +34,103 @@ class LPError(RuntimeError):
     """Raised when an LP that was expected to solve does not."""
 
 
-#: Cached block-diagonal stacks keyed on ``(id(a_ub), id(a_eq), k)``.
-#: Repeated stacked solves over the same shared block matrices (the
-#: pattern of :meth:`repro.controllers.rmpc.RobustMPC.solve_batch`, which
-#: only rewrites the initial-state equality RHS between calls) reuse the
-#: CSR stack instead of rebuilding it.  Entries keep strong references to
-#: the source matrices, which also pins the ids they are keyed on;
-#: LRU-bounded (hits refresh recency) so long-lived processes sweeping
-#: many one-shot (matrix, batch size) pairs — the geometry layer's
-#: ephemeral polytopes — can neither grow it without bound nor evict a
-#: constantly-hit controller entry.
+#: Anonymous block-diagonal stacks keyed on ``(id(a_ub), id(a_eq), k)``,
+#: LRU-bounded (hits refresh recency).  This cache serves *ownerless*
+#: callers only — the geometry layer's support sweeps over ephemeral
+#: polytopes, where entries are cheap to rebuild and churn is expected.
+#: Long-lived callers (controllers) must NOT rely on it: it keys on
+#: object identity and keeps strong references to the source matrices,
+#: so a dead caller's matrices stay pinned until LRU churn evicts them,
+#: and an unrelated sweep can evict a hot entry mid-run.  They own a
+#: :class:`BlockStack` instead (the persistent-HiGHS backend's
+#: :class:`~repro.utils.lp_backends.PersistentStackSolver` likewise owns
+#: its models), so their stacks live and die with the owner.
 _STACK_CACHE: dict = {}
 _STACK_CACHE_MAX = 64
 _STACK_CACHE_STATS = {"hits": 0, "misses": 0}
 
 
 def stack_cache_stats() -> dict:
-    """Hit/miss counters of the block-diagonal stack cache (for tests
-    and benchmarks; counters are process-lifetime cumulative)."""
+    """Hit/miss counters of the block-diagonal stack builds — the
+    anonymous LRU cache and every owned :class:`BlockStack` update the
+    same counters.  Counters are cumulative; call
+    :func:`reset_stack_cache_stats` first for order-independent
+    assertions in tests and benchmarks."""
     return dict(_STACK_CACHE_STATS)
+
+
+def reset_stack_cache_stats() -> None:
+    """Zero the hit/miss counters (cached stacks themselves are kept).
+
+    Tests and benchmarks asserting on hit rates call this first so the
+    numbers do not depend on what ran earlier in the process.
+    """
+    _STACK_CACHE_STATS["hits"] = 0
+    _STACK_CACHE_STATS["misses"] = 0
 
 
 def _as_csr_block(matrix):
     if sp.issparse(matrix):
         return matrix.tocsr()
     return sp.csr_matrix(np.asarray(matrix, dtype=float))
+
+
+class BlockStack:
+    """Owner-held block-diagonal CSR stacks for one ``(a_ub, a_eq)`` pair.
+
+    Explicit ownership replaces global-cache pinning: a long-lived caller
+    (e.g. :class:`~repro.controllers.rmpc.RobustMPC`) holds one
+    ``BlockStack`` for its constraint matrices and passes it to
+    :func:`solve_lp_batch` via ``stack=``.  The built stacks live on this
+    object — never in the module-level LRU — so an unrelated sweep of
+    ephemeral polytopes cannot evict them mid-run, and when the owner is
+    garbage-collected the stacks (and the source matrices they reference)
+    are reclaimed with it.
+
+    Args:
+        a_ub: Shared inequality block (dense or scipy sparse).
+        a_eq: Optional shared equality block.
+        max_entries: Distinct batch sizes kept (LRU-bounded; one entry
+            per ``k`` the owner solves at).
+    """
+
+    def __init__(self, a_ub, a_eq=None, max_entries: int = 8):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._a_ub = a_ub
+        self._a_eq = a_eq
+        self._max_entries = int(max_entries)
+        self._stacks: dict = {}  # k -> (stacked_ub, stacked_eq), LRU order
+
+    def matches(self, a_ub, a_eq) -> bool:
+        """True iff this stack owns exactly the given block matrices."""
+        return a_ub is self._a_ub and a_eq is self._a_eq
+
+    def stacked(self, k: int):
+        """``diag(a_ub, …)`` / ``diag(a_eq, …)`` CSR for ``k`` blocks."""
+        cached = self._stacks.pop(k, None)
+        if cached is not None:
+            _STACK_CACHE_STATS["hits"] += 1
+            self._stacks[k] = cached  # re-insert: LRU recency refresh
+            return cached
+        _STACK_CACHE_STATS["misses"] += 1
+        stacked_ub = sp.block_diag([_as_csr_block(self._a_ub)] * k, format="csr")
+        stacked_eq = None
+        if self._a_eq is not None:
+            stacked_eq = sp.block_diag(
+                [_as_csr_block(self._a_eq)] * k, format="csr"
+            )
+        while len(self._stacks) >= self._max_entries:
+            self._stacks.pop(next(iter(self._stacks)))
+        self._stacks[k] = (stacked_ub, stacked_eq)
+        return stacked_ub, stacked_eq
+
+    def release(self) -> None:
+        """Drop every built stack (they are rebuilt on the next solve)."""
+        self._stacks.clear()
+
+    def __len__(self) -> int:
+        return len(self._stacks)
 
 
 def _stacked_blocks(a_ub, a_eq, k: int):
@@ -168,7 +242,9 @@ def lp_feasible(a_ub, b_ub, a_eq=None, b_eq=None) -> bool:
     raise LPError(f"feasibility LP failed (status={res.status}): {res.message}")
 
 
-def solve_lp_batch(objectives, a_ub, b_ub, a_eq=None, b_eq=None) -> List[LPSolution]:
+def solve_lp_batch(
+    objectives, a_ub, b_ub, a_eq=None, b_eq=None, stack=None
+) -> List[LPSolution]:
     """Minimise every row of ``objectives`` over shared block constraints.
 
     The ``k`` independent problems ``min c_i @ x  s.t.  a_ub x <= b_ub_i,
@@ -181,10 +257,13 @@ def solve_lp_batch(objectives, a_ub, b_ub, a_eq=None, b_eq=None) -> List[LPSolut
     lets :meth:`repro.controllers.rmpc.RobustMPC.solve_batch` stack ``k``
     Eq.-5 problems that differ only in their initial-state equalities.
 
-    The stacks are built sparse (memory ``O(k · nnz)``) and cached per
-    ``(a_ub, a_eq, k)`` identity, so repeated calls over the same shared
-    matrices — the per-step pattern of the lockstep engine — only rewrite
-    the RHS vectors.
+    The stacks are built sparse (memory ``O(k · nnz)``).  Anonymous
+    callers get them cached per ``(a_ub, a_eq, k)`` identity in a
+    module-level LRU; long-lived callers pass an owned
+    :class:`BlockStack` via ``stack`` so repeated calls over the same
+    shared matrices — the per-step pattern of the lockstep engine — only
+    rewrite the RHS vectors, without pinning anything in (or being
+    evicted from) the global cache.
 
     Because the blocks are fully decoupled, the stacked optimum restricted
     to block ``i`` attains exactly the optimal *value* of problem ``i``
@@ -199,6 +278,9 @@ def solve_lp_batch(objectives, a_ub, b_ub, a_eq=None, b_eq=None) -> List[LPSolut
         a_eq: Optional shared equality block.
         b_eq: ``(rows_eq,)`` shared or ``(k, rows_eq)`` per-block RHS;
             required iff ``a_eq`` is given.
+        stack: Optional owned :class:`BlockStack` built over exactly
+            ``(a_ub, a_eq)``; when given, its stacks are used instead of
+            the module-level cache.
 
     Raises:
         LPError: If the stacked LP fails.  Any single infeasible or
@@ -221,7 +303,15 @@ def solve_lp_batch(objectives, a_ub, b_ub, a_eq=None, b_eq=None) -> List[LPSolut
         b = np.asarray(b_ub, dtype=float).reshape(-1)
         be = None if b_eq is None else np.asarray(b_eq, dtype=float).reshape(-1)
         return [solve_lp(C[0], a_ub=a_ub, b_ub=b, a_eq=a_eq, b_eq=be)]
-    stacked_A, stacked_A_eq = _stacked_blocks(a_ub, a_eq, k)
+    if stack is not None:
+        if not stack.matches(a_ub, a_eq):
+            raise ValueError(
+                "stack was built for different block matrices than the "
+                "(a_ub, a_eq) passed to solve_lp_batch"
+            )
+        stacked_A, stacked_A_eq = stack.stacked(k)
+    else:
+        stacked_A, stacked_A_eq = _stacked_blocks(a_ub, a_eq, k)
     stacked_b = _stack_rhs(b_ub, k, rows, "b_ub")
     stacked_b_eq = None
     if a_eq is not None:

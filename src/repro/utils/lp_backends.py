@@ -1,0 +1,352 @@
+"""Pluggable LP backends for the stacked block-diagonal batch solves.
+
+Two backends solve the stacked Eq.-5 problems of
+:meth:`repro.controllers.rmpc.RobustMPC.solve_batch`:
+
+* ``"scipy"`` — the always-available fallback: one
+  :func:`scipy.optimize.linprog` call per batch over the cached CSR
+  stack (:func:`repro.utils.lp.solve_lp_batch`).  Every call rebuilds
+  the HiGHS internals and re-factorises the basis from scratch.
+* ``"highs"`` — a *persistent* HiGHS process model
+  (:class:`PersistentStackSolver`): the stacked model is passed to a
+  ``highspy.Highs`` instance once, and subsequent solves only rewrite
+  the initial-state equality right-hand side (``changeRowsBoundsBySet``)
+  so HiGHS warm-starts from the previous solve's basis instead of
+  re-factorising.  Across consecutive lockstep steps the stacked
+  problem is identical except for that RHS, which is exactly the
+  pattern warm-starting amortises.
+
+``highspy`` is an optional extra (``pip install
+repro-intermittent-control[highs]``); every entry point accepts a
+backend *request* — ``"auto"`` (highs when importable, else scipy),
+``"highs"`` (error if unavailable) or ``"scipy"`` — and
+:func:`resolve_backend` turns the request into the effective backend.
+
+Determinism: both backends attain the scalar solver's optimal cost
+(the plan-equivalent tier of :mod:`repro.framework.lockstep`), but a
+warm-started solve may land on a different optimal *vertex* than a cold
+one when the LP is degenerate — the vertex can depend on the previous
+step's basis.  Audits that need bitwise reproducibility use
+``exact_solves=True``, which routes through the scalar scipy path under
+every backend and is therefore backend-invariant.
+
+Thread-safety: a :class:`PersistentStackSolver` mutates its ``Highs``
+instances in place and is **not** re-entrant; one controller's persistent
+solver must not be driven from concurrent threads.  Forked workers are
+fine — the solver is built lazily, so each worker builds its own.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.lp import LPError, LPSolution
+
+__all__ = [
+    "BACKENDS",
+    "LPBackendError",
+    "highs_available",
+    "resolve_backend",
+    "PersistentStackSolver",
+]
+
+#: Recognised backend requests (``resolve_backend`` maps them to an
+#: effective backend in ``("highs", "scipy")``).
+BACKENDS = ("auto", "highs", "scipy")
+
+#: Batch sizes at or above this are split into fixed-size chunks, each
+#: with its own persistent model: the single stacked solve's superlinear
+#: tail would otherwise eat the warm-start amortisation, and fixed chunk
+#: sizes keep the chunk models reusable when the batch size drifts
+#: between steps (only the remainder chunk goes cold).
+DEFAULT_CHUNK_SIZE = 1024
+
+_HIGHS_AVAILABLE: Optional[bool] = None
+
+
+class LPBackendError(RuntimeError):
+    """Raised when a requested LP backend cannot be provided."""
+
+
+def highs_available() -> bool:
+    """True iff the optional ``highspy`` extra is importable (cached)."""
+    global _HIGHS_AVAILABLE
+    if _HIGHS_AVAILABLE is None:
+        try:
+            import highspy  # noqa: F401
+
+            _HIGHS_AVAILABLE = True
+        except ImportError:
+            _HIGHS_AVAILABLE = False
+    return _HIGHS_AVAILABLE
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Map a backend request to the effective backend name.
+
+    Args:
+        backend: ``"auto"``, ``"highs"`` or ``"scipy"``.
+
+    Returns:
+        ``"highs"`` or ``"scipy"``.
+
+    Raises:
+        ValueError: On names outside :data:`BACKENDS`.
+        LPBackendError: For an explicit ``"highs"`` request when
+            ``highspy`` is not installed (``"auto"`` silently falls back
+            to scipy instead).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"lp backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    if backend == "scipy":
+        return "scipy"
+    if highs_available():
+        return "highs"
+    if backend == "highs":
+        raise LPBackendError(
+            "lp backend 'highs' requested but highspy is not installed "
+            "(pip install highspy, or the [highs] extra); "
+            "use backend 'auto' to fall back to scipy"
+        )
+    return "scipy"
+
+
+def _as_csr(matrix) -> sp.csr_matrix:
+    if sp.issparse(matrix):
+        return matrix.tocsr()
+    return sp.csr_matrix(np.asarray(matrix, dtype=float))
+
+
+class _ChunkModel:
+    """One persistent ``highspy.Highs`` instance for a fixed chunk size.
+
+    Holds the stacked model for ``blocks`` copies of the scalar block;
+    built (``passModel``) exactly once, then every :meth:`solve` only
+    rewrites the varying equality rows and re-runs — HiGHS reuses the
+    incumbent basis, so repeated solves skip the from-scratch
+    factorisation the scipy path pays every call.
+    """
+
+    def __init__(self, owner: "PersistentStackSolver", blocks: int):
+        import highspy
+
+        self._highspy = highspy
+        self.blocks = int(blocks)
+        n = owner.block_cols
+        rows_ub = owner.rows_ub
+        rows_eq = owner.rows_eq
+        k = self.blocks
+
+        stacked_ub = sp.block_diag([owner.a_ub] * k, format="csr")
+        stacked_eq = sp.block_diag([owner.a_eq] * k, format="csr")
+        matrix = sp.vstack([stacked_ub, stacked_eq], format="csc")
+
+        num_col = n * k
+        num_row = (rows_ub + rows_eq) * k
+        inf = highspy.kHighsInf
+        row_lower = np.empty(num_row)
+        row_upper = np.empty(num_row)
+        row_lower[: rows_ub * k] = -inf
+        row_upper[: rows_ub * k] = np.tile(owner.b_ub, k)
+        eq_rhs = np.tile(owner.b_eq, k)
+        row_lower[rows_ub * k :] = eq_rhs
+        row_upper[rows_ub * k :] = eq_rhs
+
+        lp = highspy.HighsLp()
+        lp.num_col_ = num_col
+        lp.num_row_ = num_row
+        lp.col_cost_ = np.tile(owner.cost, k)
+        lp.col_lower_ = np.full(num_col, -inf)
+        lp.col_upper_ = np.full(num_col, inf)
+        lp.row_lower_ = row_lower
+        lp.row_upper_ = row_upper
+        lp.a_matrix_.format_ = highspy.MatrixFormat.kColwise
+        lp.a_matrix_.start_ = matrix.indptr.astype(np.int32)
+        lp.a_matrix_.index_ = matrix.indices.astype(np.int32)
+        lp.a_matrix_.value_ = matrix.data.astype(np.float64)
+
+        self._highs = highspy.Highs()
+        self._highs.setOptionValue("output_flag", False)
+        self._highs.passModel(lp)
+
+        # Flat row indices of the varying equality entries: block i's
+        # varying rows live at rows_ub*k + i*rows_eq + varying.
+        vary = np.asarray(owner.varying_eq_rows, dtype=np.int64)
+        offsets = rows_ub * k + rows_eq * np.arange(k, dtype=np.int64)
+        self._vary_idx = (
+            (offsets[:, None] + vary[None, :]).reshape(-1).astype(np.int32)
+        )
+        self._n = n
+        self.solves = 0
+
+    def solve(self, values: np.ndarray) -> np.ndarray:
+        """Rewrite the varying equality RHS and re-solve (warm start).
+
+        Args:
+            values: ``(blocks, len(varying_eq_rows))`` per-block RHS.
+
+        Returns:
+            ``(blocks, block_cols)`` optimal points.
+
+        Raises:
+            LPError: If HiGHS does not reach optimality (infeasible,
+                unbounded, or a numerical failure).
+        """
+        flat = np.ascontiguousarray(values, dtype=np.float64).reshape(-1)
+        self._highs.changeRowsBoundsBySet(
+            len(self._vary_idx), self._vary_idx, flat, flat
+        )
+        self._highs.run()
+        status = self._highs.getModelStatus()
+        self.solves += 1
+        if status != self._highspy.HighsModelStatus.kOptimal:
+            raise LPError(
+                f"persistent stacked LP ({self.blocks} blocks) failed: "
+                f"{self._highs.modelStatusToString(status)}"
+            )
+        solution = np.asarray(
+            self._highs.getSolution().col_value, dtype=float
+        )
+        return solution.reshape(self.blocks, self._n)
+
+    def release(self) -> None:
+        self._highs.clear()
+
+
+class PersistentStackSolver:
+    """Warm-started persistent-HiGHS solver for one controller's stack.
+
+    Owns everything the stacked solves need — the scalar block data
+    *and* the per-chunk-size ``Highs`` instances — so the controller
+    that holds this solver is the explicit owner of its stacks: nothing
+    is pinned in a global cache, and dropping the controller reclaims
+    the models (see the ownership contract in :mod:`repro.utils.lp`).
+
+    The solved problem family is ``min cost @ x`` subject to
+    ``a_ub x <= b_ub`` and ``a_eq x = b_eq`` per block, where only the
+    ``varying_eq_rows`` entries of ``b_eq`` differ between blocks and
+    between calls (the RMPC initial-state pattern).  Batches of ``k``
+    blocks are split into chunks of at most ``chunk_size`` (see
+    :data:`DEFAULT_CHUNK_SIZE`); each distinct chunk size keeps one
+    persistent model, LRU-bounded by ``max_models``.
+
+    Args:
+        cost: ``(n,)`` shared per-block objective.
+        a_ub: ``(rows_ub, n)`` shared inequality block.
+        b_ub: ``(rows_ub,)`` shared inequality RHS.
+        a_eq: ``(rows_eq, n)`` shared equality block.
+        b_eq: ``(rows_eq,)`` base equality RHS (varying entries are
+            overwritten per solve).
+        varying_eq_rows: Indices into the equality rows that change per
+            block / per call.
+        chunk_size: Chunk width for large batches.
+        max_models: Persistent models kept across distinct chunk sizes.
+
+    Raises:
+        LPBackendError: If ``highspy`` is not installed.
+    """
+
+    def __init__(
+        self,
+        cost,
+        a_ub,
+        b_ub,
+        a_eq,
+        b_eq,
+        varying_eq_rows,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_models: int = 8,
+    ):
+        if not highs_available():
+            raise LPBackendError(
+                "PersistentStackSolver needs highspy (the [highs] extra)"
+            )
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.cost = np.asarray(cost, dtype=float)
+        self.a_ub = _as_csr(a_ub)
+        self.b_ub = np.asarray(b_ub, dtype=float).reshape(-1)
+        self.a_eq = _as_csr(a_eq)
+        self.b_eq = np.asarray(b_eq, dtype=float).reshape(-1)
+        self.varying_eq_rows = np.asarray(varying_eq_rows, dtype=np.int64)
+        self.block_cols = self.a_ub.shape[1]
+        self.rows_ub = self.a_ub.shape[0]
+        self.rows_eq = self.a_eq.shape[0]
+        if self.cost.size != self.block_cols:
+            raise ValueError("cost length must match the block column count")
+        if self.a_eq.shape[1] != self.block_cols:
+            raise ValueError("a_ub and a_eq must share a column count")
+        if self.varying_eq_rows.size and (
+            self.varying_eq_rows.min() < 0
+            or self.varying_eq_rows.max() >= self.rows_eq
+        ):
+            raise ValueError("varying_eq_rows outside the equality rows")
+        self.chunk_size = int(chunk_size)
+        self.max_models = int(max_models)
+        self._models: dict = {}  # chunk size -> _ChunkModel (LRU order)
+        self.model_builds = 0
+        self.solve_calls = 0
+
+    def _model(self, blocks: int) -> _ChunkModel:
+        model = self._models.pop(blocks, None)
+        if model is None:
+            model = _ChunkModel(self, blocks)
+            self.model_builds += 1
+            while len(self._models) >= self.max_models:
+                self._models.pop(next(iter(self._models))).release()
+        self._models[blocks] = model  # re-insert: LRU recency refresh
+        return model
+
+    def solve_batch(self, values) -> List[LPSolution]:
+        """Solve ``k`` blocks whose varying equality RHS rows are ``values``.
+
+        Args:
+            values: ``(k, len(varying_eq_rows))`` per-block RHS entries.
+
+        Returns:
+            ``k`` :class:`~repro.utils.lp.LPSolution`, aligned with the
+            input rows.  Nothing partial: if any chunk fails the whole
+            batch raises and no chunk's results are returned, so callers
+            can fall back to scalar solves without double counting.
+
+        Raises:
+            LPError: If any chunk's solve does not reach optimality.
+        """
+        V = np.atleast_2d(np.asarray(values, dtype=float))
+        k = V.shape[0]
+        if k == 0:
+            return []
+        if V.shape[1] != self.varying_eq_rows.size:
+            raise ValueError(
+                f"values have {V.shape[1]} columns, expected "
+                f"{self.varying_eq_rows.size} varying equality rows"
+            )
+        self.solve_calls += 1
+        points = np.empty((k, self.block_cols))
+        start = 0
+        while start < k:
+            stop = min(start + self.chunk_size, k)
+            points[start:stop] = self._model(stop - start).solve(V[start:stop])
+            start = stop
+        costs = points @ self.cost
+        return [
+            LPSolution(x=points[i], value=float(costs[i]), status=0)
+            for i in range(k)
+        ]
+
+    @property
+    def warm_solves(self) -> int:
+        """Solves served by an already-built model (basis reuse)."""
+        return sum(max(0, model.solves - 1) for model in self._models.values())
+
+    def release(self) -> None:
+        """Free every persistent model (the stacks die with the owner
+        anyway; this releases the HiGHS memory eagerly)."""
+        for model in self._models.values():
+            model.release()
+        self._models.clear()

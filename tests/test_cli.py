@@ -63,6 +63,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["batch", "--engine", "warp"])
 
+    def test_lp_backend_flag_on_all_engine_commands(self):
+        for argv in (
+            ["batch", "--lp-backend", "scipy"],
+            ["compare", "--lp-backend", "highs"],
+            ["experiment", "ex1", "--lp-backend", "auto"],
+            ["sweep", "--lp-backend", "scipy"],
+        ):
+            assert build_parser().parse_args(argv).lp_backend == argv[-1]
+        # Default None: keep each controller's own backend setting.
+        assert build_parser().parse_args(["batch"]).lp_backend is None
+        assert build_parser().parse_args(["sweep"]).lp_backend is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--lp-backend", "cplex"])
+
     def test_batch_scenario_flag(self):
         assert build_parser().parse_args(["batch"]).scenario == "acc"
         args = build_parser().parse_args(["batch", "--scenario", "pendulum"])

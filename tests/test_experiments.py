@@ -132,6 +132,14 @@ class TestExecutionConfig:
             ExecutionConfig(jobs=-1)
         with pytest.raises(ValueError, match="shard"):
             ExecutionConfig(shard="episode")
+        with pytest.raises(ValueError, match="lp_backend"):
+            ExecutionConfig(lp_backend="cplex")
+
+    def test_lp_backend_values(self):
+        # None (default) means "leave each controller's setting alone".
+        assert ExecutionConfig().lp_backend is None
+        for name in ("auto", "highs", "scipy"):
+            assert ExecutionConfig(lp_backend=name).lp_backend == name
 
     def test_cell_shard_rejects_parallel_engine(self):
         with pytest.raises(ValueError, match="nest"):

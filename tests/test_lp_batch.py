@@ -12,9 +12,11 @@ import scipy.sparse as sp
 
 from repro.geometry import HPolytope
 from repro.utils.lp import (
+    BlockStack,
     LPError,
     maximize,
     maximize_batch,
+    reset_stack_cache_stats,
     solve_lp,
     solve_lp_batch,
     stack_cache_stats,
@@ -153,15 +155,69 @@ class TestSolveLPBatchEqualities:
     def test_stack_cache_reuses_same_matrices(self, pentagon, rng):
         objectives = rng.normal(size=(4, 2))
         solve_lp_batch(objectives, pentagon.H, pentagon.h)  # warm k=4
-        before = stack_cache_stats()
+        reset_stack_cache_stats()
         solve_lp_batch(rng.normal(size=(4, 2)), pentagon.H, pentagon.h)
-        hit = stack_cache_stats()
-        assert hit["hits"] == before["hits"] + 1
-        assert hit["misses"] == before["misses"]
+        assert stack_cache_stats() == {"hits": 1, "misses": 0}
         # A different batch size is a different stack: miss, not hit.
         solve_lp_batch(rng.normal(size=(5, 2)), pentagon.H, pentagon.h)
-        miss = stack_cache_stats()
-        assert miss["misses"] == hit["misses"] + 1
+        assert stack_cache_stats() == {"hits": 1, "misses": 1}
+
+
+class TestBlockStack:
+    """Owner-held stacks: the per-controller replacement for pinning
+    long-lived matrices in the module-level id-keyed LRU cache."""
+
+    def test_owned_stack_matches_anonymous_path(self, pentagon, rng):
+        objectives = rng.normal(size=(5, 2))
+        stack = BlockStack(pentagon.H)
+        owned = solve_lp_batch(
+            objectives, pentagon.H, pentagon.h, stack=stack
+        )
+        anonymous = solve_lp_batch(objectives, pentagon.H, pentagon.h)
+        for left, right in zip(owned, anonymous):
+            assert left.value == pytest.approx(right.value, abs=1e-10)
+        assert len(stack) == 1  # the k=5 stack lives on the owner
+
+    def test_owned_stack_counts_in_shared_stats(self, pentagon, rng):
+        stack = BlockStack(pentagon.H)
+        reset_stack_cache_stats()
+        solve_lp_batch(
+            rng.normal(size=(3, 2)), pentagon.H, pentagon.h, stack=stack
+        )
+        solve_lp_batch(
+            rng.normal(size=(3, 2)), pentagon.H, pentagon.h, stack=stack
+        )
+        assert stack_cache_stats() == {"hits": 1, "misses": 1}
+
+    def test_mismatched_stack_rejected(self, pentagon, unit_box):
+        stack = BlockStack(unit_box.H)
+        with pytest.raises(ValueError, match="different block matrices"):
+            solve_lp_batch(
+                np.ones((3, 2)), pentagon.H, pentagon.h, stack=stack
+            )
+
+    def test_release_drops_built_stacks(self, pentagon, rng):
+        stack = BlockStack(pentagon.H)
+        solve_lp_batch(
+            rng.normal(size=(4, 2)), pentagon.H, pentagon.h, stack=stack
+        )
+        assert len(stack) == 1
+        stack.release()
+        assert len(stack) == 0
+        # Rebuilt transparently on the next solve.
+        reset_stack_cache_stats()
+        solve_lp_batch(
+            rng.normal(size=(4, 2)), pentagon.H, pentagon.h, stack=stack
+        )
+        assert stack_cache_stats()["misses"] == 1
+
+    def test_lru_bounded_entries(self, pentagon, rng):
+        stack = BlockStack(pentagon.H, max_entries=2)
+        for k in (2, 3, 4):
+            solve_lp_batch(
+                rng.normal(size=(k, 2)), pentagon.H, pentagon.h, stack=stack
+            )
+        assert len(stack) == 2
 
 
 class TestMaximizeBatch:

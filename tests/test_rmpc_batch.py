@@ -30,7 +30,12 @@ from repro.controllers import (
 from repro.framework import BatchRunner, LockstepEngine, SafetyMonitor
 from repro.invariance import strengthened_safe_set
 from repro.skipping import AlwaysSkipPolicy, PeriodicSkipPolicy
-from repro.utils.lp import stack_cache_stats
+from repro.utils.lp import reset_stack_cache_stats, stack_cache_stats
+from repro.utils.lp_backends import LPBackendError, highs_available
+
+needs_highs = pytest.mark.skipif(
+    not highs_available(), reason="optional highspy extra not installed"
+)
 
 ROOT_SEED = 424242
 HORIZON = 18
@@ -135,17 +140,144 @@ class TestSolveBatchPlanEquivalence:
         assert mpc.solve_count == 6
         mpc.reset()
 
+    def test_solve_count_on_fallback(self, rmpc_rig):
+        """Accounting under the scalar fallback: the failed stacked
+        attempt counts zero, each scalar re-solve counts one — so a
+        batch whose row 1 is infeasible leaves exactly one counted solve
+        (row 0), not k + 1 (regression: stacked-then-scalar must never
+        double count)."""
+        _system, mpc, _xi, xp, _mf = rmpc_rig
+        states = _feasible_states(xp, 3)
+        states[1] = [4.9, 1.99]  # far outside X_F
+        mpc.reset()
+        with pytest.raises(RMPCInfeasibleError):
+            mpc.solve_batch(states)
+        assert mpc.solve_count == 1
+        mpc.reset()
+
     def test_stack_cache_hit_on_repeat(self, rmpc_rig):
         """Repeated batch solves over one controller's matrices must
-        reuse the cached CSR stack (only the RHS changes)."""
+        reuse its owned CSR stack (only the RHS changes)."""
         _system, mpc, _xi, xp, _mf = rmpc_rig
         states = _feasible_states(xp, 5)
-        mpc.solve_batch(states)  # warm the (a_ub, a_eq, k=5) entry
-        before = stack_cache_stats()
-        mpc.solve_batch(_feasible_states(xp, 5, seed=11))
-        after = stack_cache_stats()
-        assert after["hits"] == before["hits"] + 1
-        assert after["misses"] == before["misses"]
+        mpc.set_lp_backend("scipy")
+        try:
+            mpc.solve_batch(states)  # warm the owner's k=5 stack
+            reset_stack_cache_stats()
+            mpc.solve_batch(_feasible_states(xp, 5, seed=11))
+        finally:
+            mpc.set_lp_backend("auto")
+        assert stack_cache_stats() == {"hits": 1, "misses": 0}
+
+
+class TestBackendSelection:
+    def test_invalid_backend_rejected(self, rmpc_rig):
+        system, mpc, _xi, _xp, _mf = rmpc_rig
+        with pytest.raises(ValueError, match="lp_backend"):
+            RobustMPC(system, horizon=2, lp_backend="cplex")
+        with pytest.raises(ValueError, match="lp_backend"):
+            mpc.set_lp_backend("cplex")
+        assert mpc.lp_backend == "auto"  # unchanged by the rejection
+
+    def test_auto_matches_explicit_scipy_costs(self, rmpc_rig):
+        """Whatever `auto` resolves to, the batch attains the scipy
+        backend's (= the scalar solver's) optimal costs."""
+        _system, mpc, _xi, xp, _mf = rmpc_rig
+        states = _feasible_states(xp, 5, seed=21)
+        try:
+            mpc.set_lp_backend("scipy")
+            via_scipy = mpc.solve_batch(states)
+            mpc.set_lp_backend("auto")
+            via_auto = mpc.solve_batch(states)
+        finally:
+            mpc.set_lp_backend("auto")
+        for a, b in zip(via_auto, via_scipy):
+            assert abs(a.cost - b.cost) <= 1e-9
+
+    @needs_highs
+    def test_highs_backend_plan_equivalent(self, rmpc_rig):
+        _system, mpc, _xi, xp, _mf = rmpc_rig
+        try:
+            mpc.set_lp_backend("highs")
+            report = verify_plan_equivalence(mpc, _feasible_states(xp, 6))
+        finally:
+            mpc.set_lp_backend("auto")
+        assert report["equivalent"], report
+
+    @needs_highs
+    def test_highs_backend_warm_starts(self, rmpc_rig):
+        """Consecutive equal-k batches reuse one persistent model."""
+        _system, mpc, _xi, xp, _mf = rmpc_rig
+        try:
+            mpc.set_lp_backend("highs")
+            mpc.release_stacks()  # cold start for this test
+            mpc.solve_batch(_feasible_states(xp, 4, seed=31))
+            solver = mpc._persistent
+            assert solver is not None and solver.model_builds == 1
+            mpc.solve_batch(_feasible_states(xp, 4, seed=32))
+            assert solver.model_builds == 1
+            assert solver.warm_solves == 1
+        finally:
+            mpc.set_lp_backend("auto")
+            mpc.release_stacks()
+
+    @needs_highs
+    def test_highs_fallback_names_infeasible_state(self, rmpc_rig):
+        """The named-state fallback contract holds under highs too."""
+        _system, mpc, _xi, xp, _mf = rmpc_rig
+        states = _feasible_states(xp, 3)
+        states[1] = [4.9, 1.99]
+        mpc.reset()
+        try:
+            mpc.set_lp_backend("highs")
+            with pytest.raises(RMPCInfeasibleError, match=r"4\.9"):
+                mpc.solve_batch(states)
+        finally:
+            mpc.set_lp_backend("auto")
+        assert mpc.solve_count == 1  # row 0 scalar re-solve only
+        mpc.reset()
+
+    def test_backend_missing_highs_raises_in_batch(self, rmpc_rig):
+        """Explicit `highs` without highspy fails loudly, not silently."""
+        if highs_available():
+            pytest.skip("highspy installed; fallback error path inert")
+        _system, mpc, _xi, xp, _mf = rmpc_rig
+        try:
+            mpc.set_lp_backend("highs")
+            with pytest.raises(LPBackendError, match="highspy"):
+                mpc.solve_batch(_feasible_states(xp, 3))
+        finally:
+            mpc.set_lp_backend("auto")
+
+    def test_released_controller_reclaims_stacks(self, rmpc_rig):
+        """Dropping a controller must free its stacks: they live on the
+        owner, not pinned under strong references in a module cache
+        (regression for the id-keyed global LRU pinning bug)."""
+        import gc
+        import weakref
+
+        system, mpc, _xi, xp, _mf = rmpc_rig
+        other = RobustMPC(
+            system, horizon=4, terminal_set=mpc.terminal_set
+        )
+        other.set_lp_backend("scipy")
+        other.solve_batch(_feasible_states(xp, 3, seed=41))
+        assert len(other._stack) == 1
+        stack_ref = weakref.ref(other._stack)
+        matrix_ref = weakref.ref(other._A_ub)
+        del other
+        gc.collect()
+        assert stack_ref() is None
+        assert matrix_ref() is None
+
+    def test_release_stacks_is_transparent(self, rmpc_rig):
+        _system, mpc, _xi, xp, _mf = rmpc_rig
+        states = _feasible_states(xp, 3, seed=51)
+        before = mpc.solve_batch(states)
+        mpc.release_stacks()
+        after = mpc.solve_batch(states)
+        for a, b in zip(before, after):
+            assert abs(a.cost - b.cost) <= 1e-9
 
 
 class TestLockstepStackedEngine:
@@ -217,6 +349,44 @@ class TestLockstepStackedEngine:
         for record in stacked.records:
             assert record.max_violation <= 0.0
 
+    @pytest.mark.parametrize("backend", ["scipy", "highs"])
+    def test_exact_solves_is_backend_invariant(self, rmpc_rig, backend):
+        """The exact_solves audit tier routes through the scalar scipy
+        path under every backend request, so its records match the serial
+        engine bitwise whatever --lp-backend asks for (with `highs`, even
+        when highspy is absent — the stacked path is never entered)."""
+        system, mpc, _xi, xp, _mf = rmpc_rig
+        make = self._runners(rmpc_rig)
+        factory = self._disturbances(system)
+        states = _feasible_states(xp, 4)
+        serial = make(BatchRunner).run_seeded(states, factory, ROOT_SEED)
+        try:
+            exact = make(
+                LockstepEngine, exact_solves=True, lp_backend=backend
+            ).run_seeded(states, factory, ROOT_SEED)
+        finally:
+            mpc.set_lp_backend("auto")
+        assert serial.deterministic_records() == exact.deterministic_records()
+
+    @needs_highs
+    def test_stacked_lockstep_highs_backend(self, rmpc_rig):
+        """A full lockstep run on the warm-started backend: safe
+        episodes, plan-equivalent solves, same episode count."""
+        system, mpc, _xi, xp, _mf = rmpc_rig
+        make = self._runners(rmpc_rig)
+        factory = self._disturbances(system)
+        states = _feasible_states(xp, 4)
+        try:
+            stacked = make(LockstepEngine, lp_backend="highs").run_seeded(
+                states, factory, ROOT_SEED
+            )
+        finally:
+            mpc.set_lp_backend("auto")
+            mpc.release_stacks()
+        assert len(stacked) == len(states)
+        for record in stacked.records:
+            assert record.max_violation <= 0.0
+
     def test_exact_solves_noop_for_bitwise_controllers(self, rmpc_rig):
         """exact_solves must not change a closed-form controller's path —
         its compute_batch already is the bitwise tier."""
@@ -262,3 +432,19 @@ def test_scenario_zoo_batch_contract(name):
     else:
         report = verify_plan_equivalence(controller, states)
         assert report["equivalent"], (name, report)
+
+
+@needs_highs
+@pytest.mark.parametrize("name", scenario_registry.list_scenarios())
+def test_scenario_zoo_highs_backend_equivalence(name):
+    """Every stacked-LP scenario controller is plan-equivalent under the
+    warm-started highs backend too (scalar reference solves stay scipy,
+    so this is a cross-backend check)."""
+    case = scenario_registry.build(name)
+    controller = case.controller
+    if getattr(controller, "bitwise_batch", True):
+        pytest.skip(f"{name}: closed-form controller, no LP backend")
+    states = case.sample_initial_states(np.random.default_rng(7), 4)
+    controller.set_lp_backend("highs")
+    report = verify_plan_equivalence(controller, states)
+    assert report["equivalent"], (name, report)
