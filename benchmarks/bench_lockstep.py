@@ -62,7 +62,12 @@ from machine import machine_info, visible_cpus
 
 from repro.acc import acc_disturbance_factory, build_case_study
 from repro.controllers import LinearFeedback, lqr_gain, verify_plan_equivalence
-from repro.framework import BatchRunner, ParallelBatchRunner
+from repro.framework import (
+    BatchRunner,
+    ParallelBatchRunner,
+    StageProfiler,
+    numba_available,
+)
 from repro.skipping import AlwaysSkipPolicy
 
 
@@ -89,8 +94,18 @@ def run_benchmark(
     seed: int,
     experiment: str = "overall",
     controllers=("linear", "rmpc"),
+    profile: bool = False,
 ) -> dict:
     """Time one batch per (controller configuration, engine).
+
+    The ``linear`` configuration gets two extra lockstep rows on top of
+    the plain (fused-numpy, timing-on) one: ``lockstep-fast`` drops the
+    per-row wall-clock amortisation (``collect_timing=False``), and —
+    when the optional numba extra is importable — ``lockstep-kernel``
+    runs the compiled closed-form step kernel (JIT warm-up excluded from
+    the timed run).  Both stay on the bitwise contract.  With
+    ``profile=True`` every lockstep row carries a per-stage wall-clock
+    breakdown (:class:`~repro.framework.StageProfiler`).
 
     Returns:
         Dict with per-configuration throughput, speedup over that
@@ -107,6 +122,7 @@ def run_benchmark(
     for name in controllers:
         controller, monitor_factory = available[name]
         bitwise = getattr(controller, "bitwise_batch", True)
+        profilers = {}
 
         def make_runner(cls, **extra):
             return cls(
@@ -117,6 +133,11 @@ def run_benchmark(
                 skip_input=case.skip_input,
                 **extra,
             )
+
+        def lockstep_runner(engine_name, **extra):
+            if profile:
+                profilers[engine_name] = extra["profiler"] = StageProfiler()
+            return make_runner(BatchRunner, engine="lockstep", **extra)
 
         def timed(runner):
             tick = time.perf_counter()
@@ -130,9 +151,29 @@ def run_benchmark(
              serial_result, serial_seconds),
             ("parallel", make_runner(ParallelBatchRunner, jobs=jobs),
              "bitwise", None, None),
-            ("lockstep", make_runner(BatchRunner, engine="lockstep"),
+            ("lockstep", lockstep_runner("lockstep", kernel="numpy"),
              "bitwise" if bitwise else "plan-equivalent", None, None),
         ]
+        if bitwise:
+            # Fused numpy path with per-row timing amortisation skipped.
+            engines.append(
+                ("lockstep-fast",
+                 lockstep_runner("lockstep-fast", kernel="numpy",
+                                 collect_timing=False),
+                 "bitwise", None, None)
+            )
+            if numba_available():
+                # Untimed JIT warm-up so the row measures steady state.
+                make_runner(
+                    BatchRunner, engine="lockstep", kernel="numba",
+                    collect_timing=False,
+                ).run_seeded(states[:2], factory, root_seed=seed)
+                engines.append(
+                    ("lockstep-kernel",
+                     lockstep_runner("lockstep-kernel", kernel="numba",
+                                     collect_timing=False),
+                     "bitwise", None, None)
+                )
         if not bitwise:
             # Audit mode: scalar solves restore bitwise parity, timing
             # what the engine alone (without solve stacking) buys.
@@ -160,26 +201,29 @@ def run_benchmark(
                 equivalence = verify_plan_equivalence(controller, states)
                 ok = violation_free and equivalence["equivalent"]
                 equivalence = {**equivalence, "violation_free": violation_free}
-            rows.append(
-                {
-                    "controller": name,
-                    "engine": engine,
-                    "jobs": jobs if engine == "parallel" else 1,
-                    "contract": contract,
-                    "seconds": seconds,
-                    "episodes_per_sec": episodes / seconds,
-                    "speedup": serial_seconds / seconds,
-                    "identical": identical,
-                    "ok": ok,
-                    "equivalence": equivalence,
-                }
-            )
+            row = {
+                "controller": name,
+                "engine": engine,
+                "jobs": jobs if engine == "parallel" else 1,
+                "contract": contract,
+                "seconds": seconds,
+                "episodes_per_sec": episodes / seconds,
+                "speedup": serial_seconds / seconds,
+                "identical": identical,
+                "ok": ok,
+                "equivalence": equivalence,
+            }
+            if engine in profilers:
+                row["profile"] = profilers[engine].report()
+            rows.append(row)
     return {
         "episodes": episodes,
         "horizon": horizon,
         "seed": seed,
         "cpus": visible_cpus(),
         "machine": machine_info(),
+        "numba_available": numba_available(),
+        "profiled": profile,
         "rows": rows,
     }
 
@@ -289,6 +333,11 @@ def main(argv=None) -> int:
              "and is skipped without it)",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="attach a StageProfiler to every lockstep row and record "
+             "the per-stage wall-clock breakdown in the artifact",
+    )
+    parser.add_argument(
         "--artifact", default="BENCH_lockstep.json",
         help="perf-trajectory artifact path ('' disables writing)",
     )
@@ -297,7 +346,7 @@ def main(argv=None) -> int:
 
     report = run_benchmark(
         args.episodes, args.horizon, args.jobs, args.seed,
-        args.experiment, args.controllers,
+        args.experiment, args.controllers, profile=args.profile,
     )
     print(
         f"lockstep benchmark: {report['episodes']} episodes x "
@@ -314,6 +363,18 @@ def main(argv=None) -> int:
             f"{row['speedup']:>7.2f}x {row['contract']:>15} "
             f"{str(row['ok']):>5}"
         )
+    if args.profile:
+        print("\nstage breakdown (share of profiled wall-clock)")
+        for row in report["rows"]:
+            if "profile" not in row:
+                continue
+            breakdown = ", ".join(
+                f"{stage} {data['share']:.0%}"
+                for stage, data in row["profile"].items()
+            )
+            print(
+                f"{row['controller']:<11} {row['engine']:<15} {breakdown}"
+            )
     if args.warm_steps > 0 and "rmpc" in args.controllers:
         warm = run_warm_start_benchmark(
             args.episodes, args.warm_steps, args.seed

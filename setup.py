@@ -30,5 +30,9 @@ setup(
         # solves (repro.utils.lp_backends); everything falls back to the
         # scipy linprog path without it.
         "highs": ["highspy"],
+        # JIT-compiled closed-form lockstep step kernel
+        # (repro.framework.kernel); kernel="auto" falls back to the
+        # bitwise-identical fused numpy path without it.
+        "numba": ["numba"],
     },
 )

@@ -197,7 +197,8 @@ def _cmd_sweep(args) -> int:
     )
     execution = ExecutionConfig(
         engine=args.engine, jobs=args.jobs, exact_solves=args.exact_solves,
-        lp_backend=args.lp_backend,
+        lp_backend=args.lp_backend, collect_timing=args.collect_timing,
+        kernel=args.kernel,
     )
     cells = len(plan.cells())
     print(
@@ -278,6 +279,7 @@ def _cmd_batch(args) -> int:
         runner = BatchRunner(
             case.system, controller, engine=engine,
             exact_solves=args.exact_solves, lp_backend=args.lp_backend,
+            collect_timing=args.collect_timing, kernel=args.kernel,
             **common,
         )
     rng = np.random.default_rng(args.seed)
@@ -356,6 +358,23 @@ def _add_lp_backend_flag(parser) -> None:
              "scipy otherwise; 'highs' requires highspy; 'scipy' forces "
              "the linprog path); default: keep each controller's own "
              "setting",
+    )
+
+
+def _add_kernel_flags(parser) -> None:
+    """Attach the lockstep ``--kernel`` / ``--no-timing`` pair."""
+    parser.add_argument(
+        "--kernel", choices=("auto", "numba", "numpy"), default="auto",
+        help="lockstep only: compiled closed-form step kernel ('auto' = "
+             "numba kernel when importable and the run is eligible, numpy "
+             "otherwise; 'numba' requires it and fails loudly; 'numpy' "
+             "never compiles); bitwise-identical either way",
+    )
+    parser.add_argument(
+        "--no-timing", action="store_false", dest="collect_timing",
+        help="lockstep only: skip per-row wall-clock collection (timing "
+             "columns read zero; deterministic metrics are unchanged bit "
+             "for bit; required for the compiled kernel tier)",
     )
 
 
@@ -439,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write records to this path (.csv for CSV, else JSON)",
     )
     _add_engine_flag(p_bat)
+    _add_kernel_flags(p_bat)
     p_bat.set_defaults(func=_cmd_batch)
 
     p_tim = sub.add_parser("timing", help="computation-saving numbers")
@@ -487,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
              "parity with the serial engine",
     )
     _add_lp_backend_flag(p_swp)
+    _add_kernel_flags(p_swp)
     p_swp.add_argument(
         "--out", default=None,
         help="write the sweep table to this path (.csv for the flat "

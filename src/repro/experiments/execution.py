@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.framework.evaluation import ENGINES
+from repro.framework.kernel import KERNELS
 from repro.utils.lp_backends import BACKENDS
 
 __all__ = ["ExecutionConfig", "SHARD_STRATEGIES"]
@@ -59,6 +60,16 @@ class ExecutionConfig:
             ``"auto"`` (default) — ``"cell"`` unless the engine is
             ``"parallel"`` (nesting a per-case fork fan-out inside a
             per-cell fork fan-out is never what you want).
+        collect_timing: Lockstep only — maintain the per-row amortised
+            wall-clock arrays (the default).  ``False`` zeroes the
+            timing-derived metrics and leaves every deterministic metric
+            bitwise-unchanged; required for the compiled kernel tier.
+        kernel: Lockstep only — compiled-kernel request
+            (``"auto"``: numba kernel when importable and the cell is
+            eligible, numpy otherwise; ``"numba"``: require it;
+            ``"numpy"``: never; see :mod:`repro.framework.kernel`).
+            The kernel tier is bitwise, so deterministic metrics are
+            kernel-invariant by construction.
     """
 
     engine: str = "serial"
@@ -66,6 +77,8 @@ class ExecutionConfig:
     exact_solves: bool = False
     lp_backend: Optional[str] = None
     shard: str = "auto"
+    collect_timing: bool = True
+    kernel: str = "auto"
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -82,6 +95,10 @@ class ExecutionConfig:
         if self.shard not in SHARD_STRATEGIES:
             raise ValueError(
                 f"shard must be one of {SHARD_STRATEGIES}, got {self.shard!r}"
+            )
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}"
             )
         if self.shard == "cell" and self.engine == "parallel":
             raise ValueError(

@@ -385,6 +385,8 @@ def _evaluate_cell(
         jobs=inner_jobs,
         exact_solves=execution.exact_solves,
         lp_backend=execution.lp_backend,
+        collect_timing=execution.collect_timing,
+        kernel=execution.kernel,
     )
     return CellResult(
         key=cell.key,
@@ -398,6 +400,8 @@ def _evaluate_cell(
             "engine": execution.engine,
             "exact_solves": execution.exact_solves,
             "lp_backend": execution.lp_backend,
+            "collect_timing": execution.collect_timing,
+            "kernel": execution.kernel,
             "pattern": spec.pattern,
         },
         approaches={

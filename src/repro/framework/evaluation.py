@@ -70,6 +70,9 @@ def paired_evaluation(
     jobs: int = 1,
     exact_solves: bool = False,
     lp_backend: Optional[str] = None,
+    collect_timing: bool = True,
+    kernel: str = "auto",
+    profiler=None,
 ) -> Dict[str, List[tuple]]:
     """Run every approach over every case; collect per-case metric tuples.
 
@@ -101,6 +104,14 @@ def paired_evaluation(
             keeps the controller's own setting.  The serial/parallel
             engines and ``exact_solves`` audits always use scalar scipy
             solves and are backend-invariant.
+        collect_timing: Lockstep only — ``False`` skips per-row
+            wall-clock collection (timing-derived metrics read zero;
+            everything else is bitwise-unchanged).
+        kernel: Lockstep only — compiled-kernel request
+            (``auto|numba|numpy``; see :mod:`repro.framework.kernel`).
+        profiler: Lockstep only — optional
+            :class:`~repro.framework.profiling.StageProfiler`; stage
+            costs accumulate across all approaches evaluated.
 
     Returns:
         Approach name → list of ``N`` metric tuples in case order.
@@ -140,6 +151,9 @@ def paired_evaluation(
                     realisations,
                     exact_solves=exact_solves,
                     lp_backend=lp_backend,
+                    collect_timing=collect_timing,
+                    kernel=kernel,
+                    profiler=profiler,
                 )
             else:
                 stats_list = run_lockstep(
@@ -153,6 +167,9 @@ def paired_evaluation(
                     memory_length=memory_length,
                     exact_solves=exact_solves,
                     lp_backend=lp_backend,
+                    collect_timing=collect_timing,
+                    kernel=kernel,
+                    profiler=profiler,
                 )
             collected[name] = [metrics_of(stats) for stats in stats_list]
         return collected

@@ -1,0 +1,441 @@
+"""Compiled closed-form step kernel for the lockstep engine.
+
+The numpy lockstep loop (:mod:`repro.framework.lockstep`) already fuses
+each *stage* across episodes — one membership broadcast, one
+``compute_batch``, one ``step_batch`` per step — but still pays several
+Python dispatches and intermediate arrays per step.  For the fully
+closed-form configuration (an affine controller ``u = clip(K x + c)``
+under context-free stateless policies) the whole
+classify → decide → control → step pipeline is a tight arithmetic loop
+with no data-dependent Python left in it, so this module runs it as
+**one compiled pass over the entire batch and horizon** via
+`numba <https://numba.pydata.org>`_.
+
+Selection vocabulary (mirrors ``lp_backend``'s ``auto|highs|scipy``):
+
+* ``"auto"`` (the default everywhere) — use the compiled kernel when
+  numba is importable *and* the run is kernel-eligible; otherwise fall
+  back to the numpy path silently.
+* ``"numba"`` — require the compiled kernel; raise :class:`KernelError`
+  when numba is missing or the configuration is ineligible (so audits
+  can prove the fast path actually ran).
+* ``"numpy"`` — never use the compiled kernel.
+
+Eligibility (:func:`kernel_ineligibility`): the controller must expose
+:meth:`~repro.controllers.base.Controller.affine_feedback`, the policies
+must take the engine's context-free fast path (shared, stateless,
+``wants_context = False``), monitors must agree on strictness,
+per-row wall-clock collection must be off (``collect_timing=False`` —
+a fused pass has no per-stage row timings to amortise), and the state
+and input dimensions must not exceed :data:`MAX_KERNEL_DIM`.
+
+Determinism: the kernel tier is **bitwise** — it owes record-for-record
+equality with the numpy lockstep path (and therefore with the serial
+engine).  Every float it produces goes through the same operations in
+the same order as the numpy broadcasts it replaces:
+
+* dot products are evaluated as elementwise multiply into a buffer and
+  then *numpy's own pairwise summation* (:func:`_make_pairwise_sum`
+  replicates the ``n < 8`` sequential and ``8 ≤ n ≤ 128`` eight-way
+  unrolled branches of numpy's reduction exactly; dimensions above 128
+  would need its recursive branch and are declared ineligible instead);
+* saturation applies max-then-min exactly like ``np.clip``;
+* the plant update rounds as ``(Σ A·x + Σ B·u) + w`` — the numpy path's
+  two-sum-then-add ordering.
+
+The differential test harness (``tests/test_kernel.py``) proves the
+pure-Python step loop bitwise-equal to the numpy engine everywhere, and
+the numba-compiled loop equal again wherever numba is installed (numba
+compiles without ``fastmath``, so no reassociation or FMA contraction
+is licensed).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "KERNELS",
+    "MAX_KERNEL_DIM",
+    "KernelError",
+    "numba_available",
+    "resolve_kernel",
+    "kernel_ineligibility",
+    "fused_rollout",
+]
+
+#: Recognised kernel requests, mirroring the ``lp_backend`` vocabulary.
+KERNELS = ("auto", "numba", "numpy")
+
+#: Largest state/input dimension the kernel accepts.  Beyond this,
+#: numpy's pairwise summation enters its recursive blocking branch,
+#: which the compiled loop does not replicate — such runs (no
+#: closed-form plant in the library is within two orders of magnitude
+#: of it) stay on the numpy path.
+MAX_KERNEL_DIM = 128
+
+
+class KernelError(RuntimeError):
+    """An explicit ``kernel='numba'`` request cannot be honoured."""
+
+
+_NUMBA_OK: Optional[bool] = None
+
+
+def numba_available() -> bool:
+    """True iff the optional ``numba`` extra is importable (cached)."""
+    global _NUMBA_OK
+    if _NUMBA_OK is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_OK = True
+        except Exception:
+            _NUMBA_OK = False
+    return _NUMBA_OK
+
+
+def resolve_kernel(request: str) -> str:
+    """Resolve a kernel request to the tier that will execute.
+
+    Args:
+        request: ``"auto"``, ``"numba"`` or ``"numpy"``.
+
+    Returns:
+        ``"numba"`` or ``"numpy"``.  ``"auto"`` resolves to ``"numba"``
+        exactly when numba is importable (eligibility of the concrete
+        run is checked separately by :func:`kernel_ineligibility`).
+
+    Raises:
+        ValueError: On names outside :data:`KERNELS`.
+        KernelError: On an explicit ``"numba"`` request without numba
+            installed.
+    """
+    if request not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {request!r}")
+    if request == "numpy":
+        return "numpy"
+    if numba_available():
+        return "numba"
+    if request == "numba":
+        raise KernelError(
+            "kernel='numba' requested but numba is not importable — install "
+            "the optional extra (pip install "
+            "repro-intermittent-control[numba]) or request kernel='auto' to "
+            "fall back to the numpy path silently"
+        )
+    return "numpy"
+
+
+def kernel_ineligibility(
+    controller,
+    n: int,
+    m: int,
+    context_free: bool = True,
+    uniform_strict: bool = True,
+    collect_timing: bool = False,
+) -> Optional[str]:
+    """Why this run cannot take the compiled kernel, or None if it can.
+
+    The lockstep entry points call this after resolving the request to
+    ``"numba"``: under ``"auto"`` a non-None reason silently selects the
+    numpy path, under an explicit ``"numba"`` it becomes the
+    :class:`KernelError` message.
+    """
+    if controller.affine_feedback() is None:
+        return (
+            f"controller {type(controller).__name__} exposes no affine "
+            "closed form (Controller.affine_feedback() returned None)"
+        )
+    if not context_free:
+        return (
+            "policies do not take the context-free fast path (the kernel "
+            "needs one shared stateless policy with wants_context=False)"
+        )
+    if not uniform_strict:
+        return "monitors disagree on strict (kernel aborts are batch-wide)"
+    if collect_timing:
+        return (
+            "per-row timing collection is on (the fused pass has no "
+            "per-stage wall-clock to amortise; pass collect_timing=False)"
+        )
+    if n > MAX_KERNEL_DIM or m > MAX_KERNEL_DIM:
+        return (
+            f"state/input dimension {max(n, m)} exceeds MAX_KERNEL_DIM="
+            f"{MAX_KERNEL_DIM} (numpy pairwise-sum recursion tier)"
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# The step loop, in closure-factory form so the identical source is
+# executed both as pure Python (the always-available differential
+# reference, exercised by the tests even without numba) and as the
+# numba-compiled kernel.
+# ----------------------------------------------------------------------
+def _make_pairwise_sum():
+    def pairwise_sum(a, n):
+        # numpy's pairwise_sum for n <= 128: sequential below 8 terms,
+        # eight accumulators + tree combine up to the block size.  The
+        # rounding of every intermediate matches np.sum bit for bit.
+        if n < 8:
+            res = 0.0
+            for i in range(n):
+                res += a[i]
+            return res
+        r0 = a[0]
+        r1 = a[1]
+        r2 = a[2]
+        r3 = a[3]
+        r4 = a[4]
+        r5 = a[5]
+        r6 = a[6]
+        r7 = a[7]
+        i = 8
+        lim = n - (n % 8)
+        while i < lim:
+            r0 += a[i]
+            r1 += a[i + 1]
+            r2 += a[i + 2]
+            r3 += a[i + 3]
+            r4 += a[i + 4]
+            r5 += a[i + 5]
+            r6 += a[i + 6]
+            r7 += a[i + 7]
+            i += 8
+        res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+        while i < n:
+            res += a[i]
+            i += 1
+        return res
+
+    return pairwise_sum
+
+
+def _make_step_loop(pairwise_sum):
+    def step_loop(
+        A,
+        B,
+        K,
+        offset,
+        lower,
+        upper,
+        has_gain,
+        has_offset,
+        has_sat,
+        Hs,
+        hs_lim,
+        Hi,
+        hi_lim,
+        skip_u,
+        W,
+        horizons,
+        choices,
+        strict,
+        states,
+        inputs,
+        decisions,
+        forced,
+        violations,
+    ):
+        count = states.shape[0]
+        t_max = W.shape[1]
+        n = A.shape[0]
+        m = B.shape[1]
+        ms = Hs.shape[0]
+        mi = Hi.shape[0]
+        width = n if n >= m else m
+        prod = np.empty(width)
+        u = np.empty(m)
+        for t in range(t_max):
+            for i in range(count):
+                if horizons[i] <= t:
+                    continue
+                x = states[i, t]
+                # -- classify (short-circuit keeps booleans identical) --
+                in_strengthened = True
+                for j in range(ms):
+                    for k in range(n):
+                        prod[k] = Hs[j, k] * x[k]
+                    if pairwise_sum(prod, n) > hs_lim[j]:
+                        in_strengthened = False
+                        break
+                run = True
+                if ms > 0:  # monitored run (controller-only passes ms == 0)
+                    if in_strengthened:
+                        run = choices[t, i] == 1
+                    else:
+                        in_invariant = True
+                        for j in range(mi):
+                            for k in range(n):
+                                prod[k] = Hi[j, k] * x[k]
+                            if pairwise_sum(prod, n) > hi_lim[j]:
+                                in_invariant = False
+                                break
+                        if not in_invariant:
+                            violations[i] += 1
+                            if strict:
+                                return t, i
+                        forced[i, t] = True
+                # -- control --
+                if run:
+                    decisions[i, t] = 1
+                    for r in range(m):
+                        if has_gain:
+                            for k in range(n):
+                                prod[k] = K[r, k] * x[k]
+                            value = pairwise_sum(prod, n)
+                            if has_offset:
+                                value = value + offset[r]
+                        else:
+                            value = offset[r]
+                        if has_sat:
+                            # max-then-min, exactly np.clip's ordering
+                            if value < lower[r]:
+                                value = lower[r]
+                            if value > upper[r]:
+                                value = upper[r]
+                        u[r] = value
+                else:
+                    for r in range(m):
+                        u[r] = skip_u[r]
+                for r in range(m):
+                    inputs[i, t, r] = u[r]
+                # -- step: (Σ A·x + Σ B·u) + w, the numpy path's order --
+                for r in range(n):
+                    for k in range(n):
+                        prod[k] = A[r, k] * x[k]
+                    drift = pairwise_sum(prod, n)
+                    for k in range(m):
+                        prod[k] = B[r, k] * u[k]
+                    actuation = pairwise_sum(prod, m)
+                    states[i, t + 1, r] = (drift + actuation) + W[i, t, r]
+        return -1, -1
+
+    return step_loop
+
+
+#: The always-available pure-Python reference (the differential tests'
+#: anchor; also what ``compiled=False`` runs).
+_STEP_LOOP_PY = _make_step_loop(_make_pairwise_sum())
+
+_STEP_LOOP_NUMBA = None
+
+
+def _compiled_step_loop():
+    """Lazily numba-compile the step loop (first call pays the JIT)."""
+    global _STEP_LOOP_NUMBA
+    if _STEP_LOOP_NUMBA is None:
+        from numba import njit
+
+        # Closure over the jitted pairwise sum; no fastmath — bitwise
+        # IEEE semantics are the whole point.
+        _STEP_LOOP_NUMBA = njit(_make_step_loop(njit(_make_pairwise_sum())))
+    return _STEP_LOOP_NUMBA
+
+
+def _as_c(array) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(array, dtype=float))
+
+
+def fused_rollout(
+    system,
+    controller,
+    strengthened_set,
+    invariant_set,
+    tol: float,
+    skip_input,
+    initial_states: np.ndarray,
+    W: np.ndarray,
+    horizons: np.ndarray,
+    choices: np.ndarray,
+    strict: bool = True,
+    compiled: bool = True,
+):
+    """Run the fused closed-form loop over a whole padded batch.
+
+    The lockstep entry points call this after
+    :func:`kernel_ineligibility` cleared the run; arguments mirror their
+    internal buffers (``W`` padded to ``(N, t_max, n)``, ``choices`` the
+    precomputed ``(t_max, N)`` context-free policy decisions).  Passing
+    ``strengthened_set=None`` skips classification entirely — the
+    controller-only rollout (``choices`` all ones, no monitors).
+
+    Args:
+        compiled: False runs the identical step loop as pure Python —
+            the differential reference the tests compare against even
+            when numba is absent (slow; never used by the engines).
+
+    Returns:
+        ``(states, inputs, decisions, forced, violations, abort_step,
+        abort_row)`` — trajectory buffers in the lockstep layouts,
+        per-episode violation counts, and the strict-abort coordinates
+        (``(-1, -1)`` when the batch completed; the caller owns raising
+        :class:`~repro.framework.monitor.SafetyViolationError` so the
+        message matches the numpy path's exactly).
+    """
+    params = controller.affine_feedback()
+    if params is None:
+        raise KernelError(
+            f"controller {type(controller).__name__} exposes no affine "
+            "closed form; the compiled kernel cannot run it"
+        )
+    K, offset, lower, upper = params
+    n, m = system.n, system.m
+    has_gain = K is not None
+    has_offset = offset is not None
+    has_sat = lower is not None
+    K_arr = _as_c(K) if has_gain else np.zeros((m, n))
+    offset_arr = _as_c(offset) if has_offset else np.zeros(m)
+    lower_arr = _as_c(lower) if has_sat else np.zeros(m)
+    upper_arr = _as_c(upper) if has_sat else np.zeros(m)
+    if strengthened_set is None:
+        Hs = np.zeros((0, n))
+        hs_lim = np.zeros(0)
+        Hi = np.zeros((0, n))
+        hi_lim = np.zeros(0)
+    else:
+        Hs = _as_c(strengthened_set.H)
+        hs_lim = strengthened_set.h + tol
+        Hi = _as_c(invariant_set.H)
+        hi_lim = invariant_set.h + tol
+
+    X0 = np.atleast_2d(np.asarray(initial_states, dtype=float))
+    count = X0.shape[0]
+    t_max = W.shape[1]
+    states = np.empty((count, t_max + 1, n))
+    states[:, 0] = X0
+    inputs = np.zeros((count, t_max, m))
+    decisions = np.zeros((count, t_max), dtype=int)
+    forced = np.zeros((count, t_max), dtype=bool)
+    violations = np.zeros(count, dtype=np.int64)
+
+    loop = _compiled_step_loop() if compiled else _STEP_LOOP_PY
+    abort_step, abort_row = loop(
+        _as_c(system.A),
+        _as_c(system.B),
+        K_arr,
+        offset_arr,
+        lower_arr,
+        upper_arr,
+        has_gain,
+        has_offset,
+        has_sat,
+        Hs,
+        hs_lim,
+        Hi,
+        hi_lim,
+        _as_c(skip_input),
+        np.ascontiguousarray(W),
+        np.ascontiguousarray(horizons, dtype=np.int64),
+        np.ascontiguousarray(choices, dtype=np.int64),
+        bool(strict),
+        states,
+        inputs,
+        decisions,
+        forced,
+        violations,
+    )
+    return states, inputs, decisions, forced, violations, abort_step, abort_row

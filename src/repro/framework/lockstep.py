@@ -5,13 +5,30 @@ scalar state at a time through ``IntermittentController.run``, the
 functions here step an ``(N, n)`` state matrix for ``N`` episodes
 *simultaneously*:
 
-* all ``N`` states are classified against ``X'`` / ``XI`` with two
-  :meth:`~repro.geometry.HPolytope.contains_batch` broadcasts per step;
+* all ``N`` states are classified against ``X'`` **and** ``XI`` with a
+  single fused broadcast per step: the two half-space systems are stacked
+  once up front into a :class:`~repro.geometry.MembershipTester`, whose
+  one multiply + pairwise reduction yields both memberships.  The fusion
+  is invariant-preserving by construction — the reduction runs along the
+  state axis, so each constraint row's float is independent of how many
+  rows are stacked above it, and both testers pre-shift offsets by the
+  same ``h + tol``; every boolean is bitwise-identical to the two
+  separate :meth:`~repro.geometry.HPolytope.contains_batch` calls it
+  replaces;
 * RUN / SKIP / monitor-forced rows are masked, the safe controller runs
   once on the stacked RUN rows via
   :meth:`~repro.controllers.base.Controller.compute_batch`;
 * the plant advances every active row in one
   :meth:`~repro.systems.lti.DiscreteLTISystem.step_batch` call.
+
+On top of the numpy pipeline sits an optional **compiled kernel tier**
+(:mod:`repro.framework.kernel`): for fully closed-form configurations —
+an affine controller, context-free policies, uniform monitors, timing
+collection off — the entire classify → decide → control → step loop runs
+as one numba-compiled pass over the batch and horizon, bitwise-identical
+to the numpy path.  Select it with ``kernel="auto"|"numba"|"numpy"``
+(mirroring the ``lp_backend`` vocabulary: ``auto`` falls back silently,
+an explicit ``numba`` raises when it cannot run).
 
 This is the only execution engine that raises episodes/sec on a
 single-core host — process fan-out (:class:`ParallelBatchRunner`) needs
@@ -25,9 +42,10 @@ Determinism contract — two tiers, selected by the controller's
   row-wise): each episode's :class:`RunStats` holds exactly the
   trajectory, inputs, decisions and forced mask the serial loop would
   produce (wall-clock timing arrays excepted — the shared per-step cost
-  is amortised uniformly over the rows that paid it).  The differential
-  test harness proves record-for-record equality against the serial
-  engine.
+  is amortised uniformly over the rows that paid it, and zeroed when
+  ``collect_timing=False``).  The differential test harness proves
+  record-for-record equality against the serial engine, on both the
+  numpy and the compiled-kernel tier.
 * **plan-equivalent** (stacked LP controllers, i.e.
   :class:`~repro.controllers.rmpc.RobustMPC` with its block-diagonal
   :meth:`solve_batch`): when an LP has multiple optimal vertices, the
@@ -36,7 +54,10 @@ Determinism contract — two tiers, selected by the controller's
   attains the identical optimal cost (within 1e-9), every applied input
   is feasible in ``U``, and Theorem 1 keeps all episodes violation-free.
   :func:`repro.controllers.rmpc.verify_plan_equivalence` is the
-  differential check for this tier.
+  differential check for this tier.  Such controllers expose no affine
+  closed form, so the compiled kernel never touches them — the only
+  change this engine applies to their pipeline is the fused (bitwise)
+  classification above.
 
 Passing ``exact_solves=True`` opts out of the stacked path: non-bitwise
 controllers are routed through row-by-row
@@ -56,6 +77,10 @@ Caveats mirroring the serial semantics they replace:
   :class:`DecisionContext` is materialised and the disturbance-history
   window is not maintained — the decisions are identical by the
   ``decide_batch_at`` contract;
+* the history window itself is a ring buffer: step ``t`` writes slot
+  ``t % r`` and contexts gather the window back in chronological order,
+  so maintaining ``r > 1`` histories costs one row-write per step
+  instead of rolling the whole ``(N, r, n)`` block;
 * a strict monitor aborts the whole batch with
   :class:`SafetyViolationError` as soon as any episode leaves ``XI``.
   The serial loop discovers violations episode-major and lockstep
@@ -74,7 +99,15 @@ import numpy as np
 
 from repro.controllers.base import Controller
 from repro.framework.accounting import RunStats
+from repro.framework.kernel import (
+    KernelError,
+    fused_rollout,
+    kernel_ineligibility,
+    resolve_kernel,
+)
 from repro.framework.monitor import SafetyMonitor, SafetyViolationError
+from repro.framework.profiling import StageProfiler, active_profiler
+from repro.geometry import MembershipTester
 from repro.skipping.base import RUN, DecisionContext, SkippingPolicy
 from repro.systems.lti import DiscreteLTISystem
 from repro.utils.validation import as_vector
@@ -155,6 +188,43 @@ def _padded_realisations(realisations, n: int) -> tuple:
     return padded, horizons
 
 
+def _context_free_run_flags(policy, t_max: int, count: int) -> np.ndarray:
+    """Precompute the ``(t_max, N)`` RUN mask for a context-free policy.
+
+    ``decide_batch_at`` decisions are a pure function of the step index
+    (row-uniform — the same contract the per-step fast path already
+    leans on), so the whole schedule can be materialised up front for
+    the compiled kernel.
+    """
+    flags = np.zeros((t_max, count), dtype=np.int64)
+    for t in range(t_max):
+        flags[t] = np.asarray(policy.decide_batch_at(t, count)) == RUN
+    return flags
+
+
+def _kernel_stats(
+    states, inputs, decisions, forced, W, horizons
+) -> List[RunStats]:
+    """Slice fused-rollout buffers into per-episode :class:`RunStats`.
+
+    The kernel tier requires ``collect_timing=False``, so the timing
+    arrays are zero-filled — exactly what the numpy path produces under
+    the same flag.
+    """
+    return [
+        RunStats(
+            states=states[i, : horizons[i] + 1].copy(),
+            inputs=inputs[i, : horizons[i]].copy(),
+            decisions=decisions[i, : horizons[i]].copy(),
+            forced=forced[i, : horizons[i]].copy(),
+            controller_seconds=np.zeros(horizons[i]),
+            monitor_seconds=np.zeros(horizons[i]),
+            disturbances=W[i, : horizons[i]].copy(),
+        )
+        for i in range(len(horizons))
+    ]
+
+
 def run_lockstep(
     system: DiscreteLTISystem,
     controller: Controller,
@@ -167,6 +237,9 @@ def run_lockstep(
     reveal_future: bool = False,
     exact_solves: bool = False,
     lp_backend: Optional[str] = None,
+    collect_timing: bool = True,
+    kernel: str = "auto",
+    profiler: Optional[StageProfiler] = None,
 ) -> List[RunStats]:
     """Run ``N`` Algorithm-1 episodes in lockstep.
 
@@ -198,6 +271,23 @@ def run_lockstep(
             exposing ``set_lp_backend``; ``None`` (default) leaves the
             controller's own setting untouched.  Irrelevant under
             ``exact_solves`` (the scalar path is backend-invariant).
+        collect_timing: Maintain the per-row amortised wall-clock arrays
+            in :class:`RunStats` (the default).  ``False`` skips every
+            ``perf_counter`` call and leaves the timing arrays
+            zero-filled — all other record fields are unchanged bit for
+            bit.  Required for the compiled kernel tier.
+        kernel: Compiled-kernel request — ``"auto"`` (default: use the
+            numba kernel when importable *and* this run is eligible,
+            else the numpy path, silently), ``"numba"`` (require it;
+            :class:`~repro.framework.kernel.KernelError` when it cannot
+            run), or ``"numpy"`` (never).  See
+            :func:`repro.framework.kernel.kernel_ineligibility` for the
+            eligibility rules.
+        profiler: Optional :class:`~repro.framework.profiling.StageProfiler`
+            charged with per-stage wall clock (``classify`` / ``decide``
+            / ``control`` / ``step``, or ``kernel`` for a fused compiled
+            pass).  ``None`` or a disabled profiler costs one pointer
+            check per stage.
 
     Returns:
         ``N`` :class:`RunStats`, aligned with the inputs.
@@ -206,6 +296,8 @@ def run_lockstep(
         ValueError: If any initial state is outside ``XI``.
         SafetyViolationError: Under a strict monitor, as soon as any
             episode's state leaves ``XI``.
+        KernelError: Under an explicit ``kernel="numba"`` request that
+            cannot be honoured.
     """
     if memory_length < 1:
         raise ValueError("memory_length must be >= 1")
@@ -250,7 +342,55 @@ def run_lockstep(
     for policy in policies:
         policy.reset()
     controller.reset()
+
+    resolved = resolve_kernel(kernel)
+    if resolved == "numba":
+        uniform_strict = all(
+            monitor.strict == reference.strict for monitor in monitors
+        )
+        reason = kernel_ineligibility(
+            controller,
+            n,
+            m,
+            context_free=context_free,
+            uniform_strict=uniform_strict,
+            collect_timing=collect_timing,
+        )
+        if reason is None:
+            prof = active_profiler(profiler)
+            ptick = prof.tick() if prof is not None else 0.0
+            run_flags = _context_free_run_flags(policies[0], t_max, count)
+            states, inputs, decisions, forced, violations, abort_t, abort_i = (
+                fused_rollout(
+                    system,
+                    controller,
+                    sset,
+                    iset,
+                    tol,
+                    skip_u,
+                    X0,
+                    W,
+                    horizons,
+                    run_flags,
+                    strict=reference.strict,
+                )
+            )
+            for i in np.flatnonzero(violations):
+                monitors[i].violations += int(violations[i])
+            if prof is not None:
+                prof.add("kernel", ptick)
+            if abort_t >= 0:
+                raise SafetyViolationError(
+                    f"state {states[abort_i, abort_t]} left the robust "
+                    "invariant set"
+                )
+            return _kernel_stats(states, inputs, decisions, forced, W, horizons)
+        if kernel == "numba":
+            raise KernelError(f"kernel='numba' requested but {reason}")
+
     compute_batch = _batch_compute_fn(controller, exact_solves, lp_backend)
+    membership = MembershipTester((sset, iset), tol)
+    prof = active_profiler(profiler)
 
     states = np.empty((count, t_max + 1, n))
     inputs = np.zeros((count, t_max, m))
@@ -260,6 +400,10 @@ def run_lockstep(
     monitor_seconds = np.zeros((count, t_max))
     states[:, 0] = X0
     X = X0.copy()
+    # Disturbance-history ring buffer: step t writes slot t % r; contexts
+    # gather slots back into chronological (oldest → newest) order.  One
+    # row-write per step regardless of r, versus rolling the whole
+    # (N, r, n) block.
     history = np.zeros((count, r, n))
 
     for t in range(t_max):
@@ -268,13 +412,14 @@ def run_lockstep(
         if not context_free:
             # The history window only ever feeds DecisionContexts, so the
             # context-free fast path skips maintaining it too.
-            if r > 1:
-                history[idx, :-1] = history[idx, 1:]
-            history[idx, -1] = w_t
+            history[idx, t % r] = w_t
+            window = np.arange(t + 1, t + 1 + r) % r
 
-        tick = time.perf_counter()
-        in_strengthened = sset.contains_batch(X[idx], tol)
-        in_invariant = iset.contains_batch(X[idx], tol)
+        if prof is not None:
+            ptick = prof.tick()
+        if collect_timing:
+            tick = time.perf_counter()
+        in_strengthened, in_invariant = membership.contains_each(X[idx])
         unsafe = ~in_strengthened & ~in_invariant
         if np.any(unsafe):
             for gi in idx[unsafe]:
@@ -285,6 +430,8 @@ def run_lockstep(
                     )
         free_idx = idx[in_strengthened]
         forced_idx = idx[~in_strengthened]
+        if prof is not None:
+            ptick = prof.add("classify", ptick)
 
         if not len(free_idx):
             choices = np.zeros(0, dtype=int)
@@ -295,7 +442,7 @@ def run_lockstep(
                 DecisionContext(
                     time=t,
                     state=X[gi].copy(),
-                    past_disturbances=history[gi].copy(),
+                    past_disturbances=history[gi, window],
                     future_disturbances=(
                         W[gi, t : horizons[gi]].copy() if reveal_future else None
                     ),
@@ -309,24 +456,32 @@ def run_lockstep(
                     [policies[gi].decide(ctx) for gi, ctx in zip(free_idx, contexts)],
                     dtype=int,
                 )
-        if len(idx):
+        if collect_timing and len(idx):
             monitor_seconds[idx, t] = (time.perf_counter() - tick) / len(idx)
+        if prof is not None:
+            ptick = prof.add("decide", ptick)
 
         run_idx = np.concatenate([forced_idx, free_idx[choices == RUN]])
         skip_idx = free_idx[choices != RUN]
         decisions[run_idx, t] = 1
         forced[forced_idx, t] = True
         if len(run_idx):
-            tick = time.perf_counter()
+            if collect_timing:
+                tick = time.perf_counter()
             inputs[run_idx, t] = compute_batch(X[run_idx])
-            controller_seconds[run_idx, t] = (
-                time.perf_counter() - tick
-            ) / len(run_idx)
+            if collect_timing:
+                controller_seconds[run_idx, t] = (
+                    time.perf_counter() - tick
+                ) / len(run_idx)
         inputs[skip_idx, t] = skip_u
+        if prof is not None:
+            ptick = prof.add("control", ptick)
 
         nxt = system.step_batch(X[idx], inputs[idx, t], w_t)
         X[idx] = nxt
         states[idx, t + 1] = nxt
+        if prof is not None:
+            prof.add("step", ptick)
 
     return [
         RunStats(
@@ -349,16 +504,21 @@ def lockstep_controller_only(
     realisations,
     exact_solves: bool = False,
     lp_backend: Optional[str] = None,
+    collect_timing: bool = True,
+    kernel: str = "auto",
+    profiler: Optional[StageProfiler] = None,
 ) -> List[RunStats]:
     """Vectorised :func:`~repro.framework.intermittent.run_controller_only`.
 
     κ runs on every row of every step (no monitor, no skipping) — the
     RMPC-only baseline leg of ``evaluate_approaches``, in lockstep.
     ``exact_solves`` and ``lp_backend`` select the determinism tier and
-    stacked-solve backend exactly as in :func:`run_lockstep`.  This is
-    the workload where the warm-started ``highs`` backend shines: the
-    stacked LP is identical every step except for its initial-state RHS,
-    at a constant batch height.
+    stacked-solve backend exactly as in :func:`run_lockstep`, as do
+    ``collect_timing``, ``kernel`` and ``profiler`` (the kernel tier runs
+    the same fused loop with classification skipped and every step a
+    RUN).  This is the workload where the warm-started ``highs`` backend
+    shines: the stacked LP is identical every step except for its
+    initial-state RHS, at a constant batch height.
 
     Returns:
         ``N`` :class:`RunStats` with all decisions 1 and zero monitor time.
@@ -371,7 +531,36 @@ def lockstep_controller_only(
     W, horizons = _padded_realisations(realisations, n)
     t_max = W.shape[1]
     controller.reset()
+
+    resolved = resolve_kernel(kernel)
+    if resolved == "numba":
+        reason = kernel_ineligibility(
+            controller, n, m, collect_timing=collect_timing
+        )
+        if reason is None:
+            prof = active_profiler(profiler)
+            ptick = prof.tick() if prof is not None else 0.0
+            run_flags = np.ones((t_max, count), dtype=np.int64)
+            states, inputs, decisions, forced, _, _, _ = fused_rollout(
+                system,
+                controller,
+                None,
+                None,
+                0.0,
+                np.zeros(m),
+                X0,
+                W,
+                horizons,
+                run_flags,
+            )
+            if prof is not None:
+                prof.add("kernel", ptick)
+            return _kernel_stats(states, inputs, decisions, forced, W, horizons)
+        if kernel == "numba":
+            raise KernelError(f"kernel='numba' requested but {reason}")
+
     compute_batch = _batch_compute_fn(controller, exact_solves, lp_backend)
+    prof = active_profiler(profiler)
 
     states = np.empty((count, t_max + 1, n))
     inputs = np.zeros((count, t_max, m))
@@ -380,13 +569,20 @@ def lockstep_controller_only(
     X = X0.copy()
     for t in range(t_max):
         idx = np.flatnonzero(horizons > t)
-        tick = time.perf_counter()
+        if prof is not None:
+            ptick = prof.tick()
+        if collect_timing:
+            tick = time.perf_counter()
         inputs[idx, t] = compute_batch(X[idx])
-        if len(idx):
+        if collect_timing and len(idx):
             controller_seconds[idx, t] = (time.perf_counter() - tick) / len(idx)
+        if prof is not None:
+            ptick = prof.add("control", ptick)
         nxt = system.step_batch(X[idx], inputs[idx, t], W[idx, t])
         X[idx] = nxt
         states[idx, t + 1] = nxt
+        if prof is not None:
+            prof.add("step", ptick)
 
     return [
         RunStats(

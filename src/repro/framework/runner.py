@@ -281,6 +281,15 @@ class BatchRunner:
             (default) leaves the controller's own setting untouched; the
             serial engine and ``exact_solves`` audits are
             backend-invariant (scalar scipy solves either way).
+        collect_timing: Lockstep only — maintain the per-row amortised
+            wall-clock arrays (the default).  ``False`` skips every
+            ``perf_counter`` call; the timing record fields read zero
+            and everything else is unchanged bit for bit.
+        kernel: Lockstep only — compiled-kernel request
+            (``auto|numba|numpy``; :mod:`repro.framework.kernel`).
+        profiler: Lockstep only — optional
+            :class:`~repro.framework.profiling.StageProfiler` charged
+            with per-stage wall clock across the batch.
     """
 
     def __init__(
@@ -295,6 +304,9 @@ class BatchRunner:
         engine: str = "serial",
         exact_solves: bool = False,
         lp_backend: Optional[str] = None,
+        collect_timing: bool = True,
+        kernel: str = "auto",
+        profiler=None,
     ):
         if engine not in ("serial", "lockstep"):
             raise ValueError(
@@ -311,6 +323,9 @@ class BatchRunner:
         self.engine = engine
         self.exact_solves = exact_solves
         self.lp_backend = lp_backend
+        self.collect_timing = collect_timing
+        self.kernel = kernel
+        self.profiler = profiler
         self._policy_takes_rng = _accepts_rng(policy_factory)
 
     # ------------------------------------------------------------------
@@ -394,6 +409,9 @@ class BatchRunner:
                 reveal_future=self.reveal_future,
                 exact_solves=self.exact_solves,
                 lp_backend=self.lp_backend,
+                collect_timing=self.collect_timing,
+                kernel=self.kernel,
+                profiler=self.profiler,
             )
             for episode, stats in enumerate(stats_list):
                 result.append(self._record(episode, stats))
@@ -483,6 +501,9 @@ class LockstepEngine(BatchRunner):
         reveal_future: bool = False,
         exact_solves: bool = False,
         lp_backend: Optional[str] = None,
+        collect_timing: bool = True,
+        kernel: str = "auto",
+        profiler=None,
     ):
         super().__init__(
             system,
@@ -495,6 +516,9 @@ class LockstepEngine(BatchRunner):
             engine="lockstep",
             exact_solves=exact_solves,
             lp_backend=lp_backend,
+            collect_timing=collect_timing,
+            kernel=kernel,
+            profiler=profiler,
         )
 
 

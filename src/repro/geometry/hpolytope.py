@@ -20,7 +20,7 @@ import numpy as np
 from repro.utils.lp import LPError, lp_feasible, maximize, maximize_batch, solve_lp
 from repro.utils.validation import as_matrix, as_vector
 
-__all__ = ["HPolytope", "EmptySetError"]
+__all__ = ["HPolytope", "MembershipTester", "EmptySetError"]
 
 # Default numerical tolerance for membership / containment tests.  Set
 # computations chain many LPs, so this is deliberately looser than solver
@@ -621,6 +621,68 @@ class HPolytope:
 
     def __repr__(self) -> str:
         return f"HPolytope(dim={self.dim}, constraints={self.num_constraints})"
+
+
+class MembershipTester:
+    """Fused membership of one point batch against several polytopes.
+
+    Classifying a batch against nested sets (the safety monitor's
+    ``X' ⊆ XI`` pair) with per-polytope :meth:`HPolytope.contains_batch`
+    calls pays one full ``(T, m_i, n)`` broadcast *per polytope*.  This
+    helper stacks all the halfspace matrices once at construction so a
+    single multiply + pairwise-reduce pass answers every membership
+    question per batch — the lockstep engine's per-step classification
+    drops from two numpy passes to one.
+
+    Bitwise contract: :meth:`contains_each` returns exactly the boolean
+    arrays the individual ``contains_batch`` calls would.  Each product
+    row is reduced over the state dimension independently of how many
+    constraint rows share the stack (the reduction is along the last
+    axis), and the per-polytope offsets are pre-shifted by the same
+    ``h + tol`` the scalar test adds — so stacking changes no float
+    anywhere.  The batch engines' record-for-record determinism contract
+    rests on that.
+
+    Args:
+        polytopes: The sets to test against, all of one dimension.
+        tol: Membership tolerance, baked into the stacked offsets
+            (matching the default of :meth:`HPolytope.contains`).
+    """
+
+    __slots__ = ("_H", "_limits", "_splits", "dim", "tol")
+
+    def __init__(self, polytopes: Sequence["HPolytope"], tol: float = DEFAULT_TOL):
+        if not polytopes:
+            raise ValueError("need at least one polytope")
+        dims = {p.dim for p in polytopes}
+        if len(dims) != 1:
+            raise ValueError(
+                f"polytopes must share one dimension, got {sorted(dims)}"
+            )
+        self.dim = polytopes[0].dim
+        self.tol = tol
+        self._H = np.vstack([p.H for p in polytopes])
+        self._limits = np.concatenate([p.h + tol for p in polytopes])
+        counts = np.array([p.num_constraints for p in polytopes])
+        self._splits = np.cumsum(counts)[:-1]
+
+    def contains_each(self, points) -> tuple:
+        """Per-polytope membership of every row of a ``(T, n)`` array.
+
+        Returns:
+            One boolean ``(T,)`` array per polytope, in constructor
+            order; array ``k``'s entry ``t`` is bitwise-identical to
+            ``polytopes[k].contains_batch(points, tol)[t]``.
+        """
+        X = np.atleast_2d(np.asarray(points, dtype=float))
+        if X.shape[1] != self.dim:
+            raise ValueError(
+                f"points have dimension {X.shape[1]}, tester has {self.dim}"
+            )
+        satisfied = np.sum(self._H * X[:, None, :], axis=2) <= self._limits
+        return tuple(
+            part.all(axis=1) for part in np.split(satisfied, self._splits, axis=1)
+        )
 
 
 def _normalize_rows(H: np.ndarray, h: np.ndarray) -> tuple:

@@ -1,0 +1,525 @@
+"""Differential tests for the compiled closed-form lockstep kernel.
+
+The kernel tier promises *bitwise* identity with the numpy lockstep path
+(and therefore with the serial engine).  The pure-Python step loop —
+the same source numba compiles — is the always-available anchor: every
+parity test here runs it interpreted by routing ``kernel="numba"``
+dispatch through it, so the full eligibility/dispatch machinery is
+exercised even on hosts without numba.  Where numba *is* installed
+(the CI numba leg), the compiled loop is additionally proven equal.
+"""
+
+import numpy as np
+import pytest
+
+import repro.framework.kernel as kernel_mod
+from repro.controllers import ConstantController, LinearFeedback, lqr_gain
+from repro.controllers.base import Controller
+from repro.framework import (
+    IntermittentController,
+    SafetyMonitor,
+    SafetyViolationError,
+    run_lockstep,
+)
+from repro.framework.kernel import (
+    KERNELS,
+    MAX_KERNEL_DIM,
+    KernelError,
+    fused_rollout,
+    kernel_ineligibility,
+    numba_available,
+    resolve_kernel,
+)
+from repro.framework.lockstep import lockstep_controller_only
+from repro.invariance import maximal_rpi, strengthened_safe_set
+from repro.skipping import (
+    AlwaysRunPolicy,
+    AlwaysSkipPolicy,
+    MarginThresholdPolicy,
+    PeriodicSkipPolicy,
+)
+
+HORIZON = 25
+
+_PAIRWISE = kernel_mod._make_pairwise_sum()
+
+
+# ----------------------------------------------------------------------
+# The bitwise foundation: the kernel's summation must BE numpy's
+# ----------------------------------------------------------------------
+class TestPairwiseSum:
+    @pytest.mark.parametrize("length", list(range(0, 20)) + [31, 32, 63, 64, 100, 127, 128])
+    def test_matches_np_sum_bitwise(self, length):
+        rng = np.random.default_rng(length)
+        for trial in range(20):
+            a = rng.uniform(-1e3, 1e3, size=length) * 10.0 ** rng.integers(
+                -12, 12, size=length
+            )
+            ours = _PAIRWISE(a, length)
+            ref = float(np.sum(a))
+            assert np.float64(ours).tobytes() == np.float64(ref).tobytes()
+
+    def test_signed_zero_matches(self):
+        a = np.array([-0.0])
+        assert np.float64(_PAIRWISE(a, 1)).tobytes() == np.float64(
+            np.sum(a)
+        ).tobytes()
+
+    def test_empty_is_positive_zero(self):
+        assert _PAIRWISE(np.zeros(0), 0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Resolution + eligibility vocabulary (mirrors lp_backend semantics)
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_vocabulary(self):
+        assert KERNELS == ("auto", "numba", "numpy")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="kernel must be one of"):
+            resolve_kernel("fortran")
+
+    def test_numpy_always_resolves(self):
+        assert resolve_kernel("numpy") == "numpy"
+
+    def test_auto_falls_back_silently(self, monkeypatch):
+        monkeypatch.setattr(kernel_mod, "_NUMBA_OK", False)
+        assert resolve_kernel("auto") == "numpy"
+
+    def test_explicit_numba_raises_without_numba(self, monkeypatch):
+        monkeypatch.setattr(kernel_mod, "_NUMBA_OK", False)
+        with pytest.raises(KernelError, match="numba is not importable"):
+            resolve_kernel("numba")
+
+    def test_auto_prefers_numba_when_available(self, monkeypatch):
+        monkeypatch.setattr(kernel_mod, "_NUMBA_OK", True)
+        assert resolve_kernel("auto") == "numba"
+        assert resolve_kernel("numba") == "numba"
+
+
+class TestEligibility:
+    def test_affine_controller_is_eligible(self):
+        controller = LinearFeedback(np.array([[0.1, 0.2]]))
+        assert kernel_ineligibility(controller, 2, 1) is None
+
+    def test_non_affine_controller_named(self):
+        class Opaque(Controller):
+            input_dim = 1
+
+            def compute(self, state):
+                return np.zeros(1)
+
+        reason = kernel_ineligibility(Opaque(), 2, 1)
+        assert "Opaque" in reason and "affine" in reason
+
+    def test_context_bound_policies(self):
+        controller = LinearFeedback(np.array([[0.1, 0.2]]))
+        reason = kernel_ineligibility(controller, 2, 1, context_free=False)
+        assert "context-free" in reason
+
+    def test_mixed_strictness(self):
+        controller = LinearFeedback(np.array([[0.1, 0.2]]))
+        reason = kernel_ineligibility(controller, 2, 1, uniform_strict=False)
+        assert "strict" in reason
+
+    def test_collect_timing(self):
+        controller = LinearFeedback(np.array([[0.1, 0.2]]))
+        reason = kernel_ineligibility(controller, 2, 1, collect_timing=True)
+        assert "collect_timing=False" in reason
+
+    def test_dimension_cap(self):
+        big = MAX_KERNEL_DIM + 1
+        controller = LinearFeedback(np.zeros((1, big)))
+        reason = kernel_ineligibility(controller, big, 1)
+        assert "MAX_KERNEL_DIM" in reason
+
+    def test_fused_rollout_rejects_non_affine(self, double_integrator):
+        class Opaque(Controller):
+            input_dim = 1
+
+            def compute(self, state):
+                return np.zeros(1)
+
+        with pytest.raises(KernelError, match="no affine"):
+            fused_rollout(
+                double_integrator,
+                Opaque(),
+                None,
+                None,
+                0.0,
+                np.zeros(1),
+                np.zeros((1, 2)),
+                np.zeros((1, 3, 2)),
+                np.array([3]),
+                np.ones((3, 1), dtype=np.int64),
+            )
+
+
+# ----------------------------------------------------------------------
+# Differential harness
+# ----------------------------------------------------------------------
+@pytest.fixture
+def interpreted_kernel(monkeypatch):
+    """Route ``kernel="numba"`` dispatch through the pure-Python loop.
+
+    Exercises the full eligibility + dispatch machinery without numba;
+    on hosts that do have numba this still pins the test to the
+    interpreted loop (the compiled loop has its own tests below).
+    """
+    monkeypatch.setattr(kernel_mod, "_NUMBA_OK", True)
+    monkeypatch.setattr(
+        kernel_mod, "_STEP_LOOP_NUMBA", kernel_mod._STEP_LOOP_PY
+    )
+
+
+def assert_records_equal(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert np.array_equal(a.states, b.states)
+        assert np.array_equal(a.inputs, b.inputs)
+        assert np.array_equal(a.decisions, b.decisions)
+        assert np.array_equal(a.forced, b.forced)
+        assert np.array_equal(a.disturbances, b.disturbances)
+
+
+@pytest.fixture
+def di_case(double_integrator):
+    """Double integrator + certified sets + sampled batch."""
+    system = double_integrator
+    K = lqr_gain(system.A, system.B, np.eye(2), np.eye(1))
+    seed_set = system.safe_set.intersect(system.input_set.linear_preimage(K))
+    xi = maximal_rpi(
+        system.closed_loop_matrix(K), seed_set, system.disturbance_set
+    ).invariant_set
+    xp = strengthened_safe_set(system, xi)
+    lo, hi = system.input_set.bounding_box()
+    controller = LinearFeedback(K, saturation=(lo, hi))
+
+    def monitors(count, strict=True):
+        return [
+            SafetyMonitor(
+                strengthened_set=xp, invariant_set=xi, safe_set=system.safe_set,
+                strict=strict,
+            )
+            for _ in range(count)
+        ]
+
+    rng = np.random.default_rng(20260807)
+    states = xp.sample(np.random.default_rng(5), 6)
+    wlo, whi = system.disturbance_set.bounding_box()
+    realisations = [
+        rng.uniform(wlo, whi, size=(HORIZON, system.n)) for _ in states
+    ]
+    return system, controller, monitors, xp, xi, states, realisations
+
+
+POLICIES = {
+    "always_run": AlwaysRunPolicy,
+    "always_skip": AlwaysSkipPolicy,
+    "periodic": lambda: PeriodicSkipPolicy(3, offset=1),
+}
+
+
+class TestKernelMatchesNumpy:
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_monitored_parity(self, di_case, interpreted_kernel, policy_name):
+        system, controller, monitors, _xp, _xi, states, realisations = di_case
+        factory = POLICIES[policy_name]
+        reference = run_lockstep(
+            system, controller, monitors(len(states)),
+            [factory() for _ in states], states, realisations,
+            kernel="numpy",
+        )
+        fused = run_lockstep(
+            system, controller, monitors(len(states)),
+            [factory() for _ in states], states, realisations,
+            kernel="numba", collect_timing=False,
+        )
+        assert_records_equal(reference, fused)
+        # the kernel tier never collects per-row timing
+        for stats in fused:
+            assert not stats.controller_seconds.any()
+            assert not stats.monitor_seconds.any()
+
+    def test_constant_controller_parity(self, di_case, interpreted_kernel):
+        # zero input is not stabilising, so run non-strict and require
+        # the (offset-only, no-gain) kernel branch to match violations too
+        system, _c, monitors, _xp, _xi, states, realisations = di_case
+        controller = ConstantController(np.zeros(system.m))
+        mons_np = monitors(len(states), strict=False)
+        reference = run_lockstep(
+            system, controller, mons_np,
+            [AlwaysRunPolicy() for _ in states], states, realisations,
+            kernel="numpy",
+        )
+        mons_k = monitors(len(states), strict=False)
+        fused = run_lockstep(
+            system, controller, mons_k,
+            [AlwaysRunPolicy() for _ in states], states, realisations,
+            kernel="numba", collect_timing=False,
+        )
+        assert_records_equal(reference, fused)
+        assert [m.violations for m in mons_np] == [m.violations for m in mons_k]
+
+    def test_ragged_horizons(self, di_case, interpreted_kernel):
+        system, controller, monitors, _xp, _xi, states, _r = di_case
+        rng = np.random.default_rng(3)
+        wlo, whi = system.disturbance_set.bounding_box()
+        ragged = [
+            rng.uniform(wlo, whi, size=(4 + 6 * episode, system.n))
+            for episode in range(len(states))
+        ]
+        reference = run_lockstep(
+            system, controller, monitors(len(states)),
+            [PeriodicSkipPolicy(2) for _ in states], states, ragged,
+            kernel="numpy",
+        )
+        fused = run_lockstep(
+            system, controller, monitors(len(states)),
+            [PeriodicSkipPolicy(2) for _ in states], states, ragged,
+            kernel="numba", collect_timing=False,
+        )
+        assert_records_equal(reference, fused)
+
+    def test_forced_rows(self, di_case, interpreted_kernel):
+        """Initial states in XI − X': monitor-forced steps, zero free rows."""
+        system, controller, monitors, xp, xi, _s, _r = di_case
+        candidates = xi.sample(np.random.default_rng(3), 200)
+        outside = candidates[~xp.contains_batch(candidates)]
+        assert len(outside) >= 2, "need XI − X' samples for this scenario"
+        states = outside[:3]
+        rng = np.random.default_rng(9)
+        wlo, whi = system.disturbance_set.bounding_box()
+        realisations = [
+            rng.uniform(wlo, whi, size=(HORIZON, system.n)) for _ in states
+        ]
+        reference = run_lockstep(
+            system, controller, monitors(len(states)),
+            [AlwaysSkipPolicy() for _ in states], states, realisations,
+            kernel="numpy",
+        )
+        fused = run_lockstep(
+            system, controller, monitors(len(states)),
+            [AlwaysSkipPolicy() for _ in states], states, realisations,
+            kernel="numba", collect_timing=False,
+        )
+        assert_records_equal(reference, fused)
+        assert any(stats.forced.any() for stats in reference)
+
+    def test_strict_abort_parity(self, di_case, interpreted_kernel):
+        """A destabilising gain drives rows out of XI: both paths raise,
+        naming the same episode, with identical violation counts."""
+        system, _c, monitors, _xp, xi, _s, _r = di_case
+        bad = LinearFeedback(-lqr_gain(system.A, system.B, np.eye(2), np.eye(1)))
+        states = xi.sample(np.random.default_rng(7), 5)
+        rng = np.random.default_rng(11)
+        wlo, whi = system.disturbance_set.bounding_box()
+        realisations = [
+            rng.uniform(wlo, whi, size=(60, system.n)) for _ in states
+        ]
+        mons_np = monitors(len(states), strict=True)
+        with pytest.raises(SafetyViolationError) as err_np:
+            run_lockstep(
+                system, bad, mons_np,
+                [AlwaysRunPolicy() for _ in states], states, realisations,
+                kernel="numpy",
+            )
+        mons_k = monitors(len(states), strict=True)
+        with pytest.raises(SafetyViolationError) as err_k:
+            run_lockstep(
+                system, bad, mons_k,
+                [AlwaysRunPolicy() for _ in states], states, realisations,
+                kernel="numba", collect_timing=False,
+            )
+        assert str(err_np.value) == str(err_k.value)
+        assert [m.violations for m in mons_np] == [m.violations for m in mons_k]
+
+    def test_non_strict_violation_counts(self, di_case, interpreted_kernel):
+        system, _c, monitors, _xp, xi, _s, _r = di_case
+        bad = LinearFeedback(-lqr_gain(system.A, system.B, np.eye(2), np.eye(1)))
+        states = xi.sample(np.random.default_rng(7), 4)
+        rng = np.random.default_rng(11)
+        wlo, whi = system.disturbance_set.bounding_box()
+        realisations = [
+            rng.uniform(wlo, whi, size=(40, system.n)) for _ in states
+        ]
+        mons_np = monitors(len(states), strict=False)
+        reference = run_lockstep(
+            system, bad, mons_np,
+            [AlwaysRunPolicy() for _ in states], states, realisations,
+            kernel="numpy",
+        )
+        mons_k = monitors(len(states), strict=False)
+        fused = run_lockstep(
+            system, bad, mons_k,
+            [AlwaysRunPolicy() for _ in states], states, realisations,
+            kernel="numba", collect_timing=False,
+        )
+        assert_records_equal(reference, fused)
+        counts = [m.violations for m in mons_np]
+        assert counts == [m.violations for m in mons_k]
+        assert sum(counts) > 0, "scenario must actually violate"
+
+    def test_controller_only_parity(self, di_case, interpreted_kernel):
+        system, controller, _m, _xp, _xi, states, realisations = di_case
+        reference = lockstep_controller_only(
+            system, controller, states, realisations, kernel="numpy"
+        )
+        fused = lockstep_controller_only(
+            system, controller, states, realisations,
+            kernel="numba", collect_timing=False,
+        )
+        assert_records_equal(reference, fused)
+        assert all(stats.decisions.all() for stats in fused)
+
+    def test_explicit_numba_raises_when_ineligible(
+        self, di_case, interpreted_kernel
+    ):
+        system, controller, monitors, _xp, _xi, states, realisations = di_case
+        with pytest.raises(KernelError, match="collect_timing"):
+            run_lockstep(
+                system, controller, monitors(len(states)),
+                [AlwaysRunPolicy() for _ in states], states, realisations,
+                kernel="numba",  # collect_timing defaults to True
+            )
+        with pytest.raises(KernelError, match="context-free"):
+            run_lockstep(
+                system, controller, monitors(len(states)),
+                [MarginThresholdPolicy(_xp, 0.05) for _ in states],
+                states, realisations,
+                kernel="numba", collect_timing=False,
+            )
+
+    def test_auto_ineligible_falls_back_silently(
+        self, di_case, interpreted_kernel
+    ):
+        system, controller, monitors, xp, _xi, states, realisations = di_case
+        # context-bound policy: auto must quietly take the numpy path
+        reference = run_lockstep(
+            system, controller, monitors(len(states)),
+            [MarginThresholdPolicy(xp, 0.05) for _ in states],
+            states, realisations, kernel="numpy",
+        )
+        auto = run_lockstep(
+            system, controller, monitors(len(states)),
+            [MarginThresholdPolicy(xp, 0.05) for _ in states],
+            states, realisations, kernel="auto", collect_timing=False,
+        )
+        assert_records_equal(reference, auto)
+
+
+class TestScenarioZooParity:
+    """numba ≡ numpy ≡ serial, record for record, across the whole zoo.
+
+    RMPC scenarios get a kernel-eligible LQR feedback substitute (the
+    kernel never runs stacked-LP controllers); monitors are non-strict
+    so any excursions from the substitute controller become counted
+    violations rather than aborts — and must match across engines.
+    """
+
+    CASES = 3
+    STEPS = 15
+
+    @pytest.mark.parametrize(
+        "name", ["acc", "dc_motor", "lane_keeping", "pendulum", "thermal"]
+    )
+    def test_three_way_parity(self, interpreted_kernel, name):
+        from repro import scenarios
+
+        case = scenarios.build(name)
+        system = case.system
+        controller = case.controller
+        if controller.affine_feedback() is None:
+            lo, hi = system.input_set.bounding_box()
+            controller = LinearFeedback(
+                lqr_gain(system.A, system.B, np.eye(system.n), np.eye(system.m)),
+                saturation=(lo, hi),
+            )
+        states = case.sample_initial_states(
+            np.random.default_rng(1), self.CASES
+        )
+        factory = case.disturbance_factory(self.STEPS)
+        realisations = [
+            factory(e, np.random.default_rng(100 + e)) for e in range(self.CASES)
+        ]
+
+        serial = []
+        for episode in range(self.CASES):
+            runner = IntermittentController(
+                system,
+                controller,
+                case.make_monitor(strict=False),
+                PeriodicSkipPolicy(2),
+                skip_input=case.skip_input,
+            )
+            serial.append(runner.run(states[episode], realisations[episode]))
+
+        def fresh_monitors():
+            return [case.make_monitor(strict=False) for _ in range(self.CASES)]
+
+        common = dict(skip_input=case.skip_input)
+        reference = run_lockstep(
+            system, controller, fresh_monitors(),
+            [PeriodicSkipPolicy(2) for _ in range(self.CASES)],
+            states, realisations, kernel="numpy", **common,
+        )
+        fused = run_lockstep(
+            system, controller, fresh_monitors(),
+            [PeriodicSkipPolicy(2) for _ in range(self.CASES)],
+            states, realisations,
+            kernel="numba", collect_timing=False, **common,
+        )
+        assert_records_equal(serial, reference)
+        assert_records_equal(reference, fused)
+
+
+# ----------------------------------------------------------------------
+# Real numba (CI's numba leg; skips cleanly where the extra is absent)
+# ----------------------------------------------------------------------
+needs_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed (optional [numba] extra)"
+)
+
+
+@needs_numba
+class TestCompiledKernel:
+    def test_compiled_loop_matches_interpreted(self, di_case):
+        system, controller, monitors, _xp, _xi, states, realisations = di_case
+        policies = [PeriodicSkipPolicy(3, offset=1) for _ in states]
+        reference = run_lockstep(
+            system, controller, monitors(len(states)), policies,
+            states, realisations, kernel="numpy",
+        )
+        compiled = run_lockstep(
+            system, controller, monitors(len(states)),
+            [PeriodicSkipPolicy(3, offset=1) for _ in states],
+            states, realisations, kernel="numba", collect_timing=False,
+        )
+        assert_records_equal(reference, compiled)
+
+    def test_compiled_controller_only(self, di_case):
+        system, controller, _m, _xp, _xi, states, realisations = di_case
+        reference = lockstep_controller_only(
+            system, controller, states, realisations, kernel="numpy"
+        )
+        compiled = lockstep_controller_only(
+            system, controller, states, realisations,
+            kernel="numba", collect_timing=False,
+        )
+        assert_records_equal(reference, compiled)
+
+    def test_auto_selects_compiled_and_stays_bitwise(self, di_case):
+        system, controller, monitors, _xp, _xi, states, realisations = di_case
+        assert resolve_kernel("auto") == "numba"
+        reference = run_lockstep(
+            system, controller, monitors(len(states)),
+            [AlwaysRunPolicy() for _ in states], states, realisations,
+            kernel="numpy",
+        )
+        auto = run_lockstep(
+            system, controller, monitors(len(states)),
+            [AlwaysRunPolicy() for _ in states], states, realisations,
+            kernel="auto", collect_timing=False,
+        )
+        assert_records_equal(reference, auto)

@@ -551,3 +551,173 @@ class TestContextFreeFastPath:
             BatchRunner, lambda: SlowPeriodic(3), engine="lockstep"
         ).run_seeded(states, factory, ROOT_SEED)
         assert fast.deterministic_records() == slow.deterministic_records()
+
+
+class _WindowRecorder:
+    """Stateless context-reading policy that logs every decision window."""
+
+    stateless = True
+    wants_context = True
+
+    def __init__(self, log):
+        self.log = log
+
+    def reset(self):
+        pass
+
+    def decide(self, context):
+        self.log.append((context.time, context.past_disturbances.copy()))
+        return RUN
+
+    def decide_batch(self, contexts):
+        for context in contexts:
+            self.log.append((context.time, context.past_disturbances.copy()))
+        return np.full(len(contexts), RUN, dtype=int)
+
+
+class TestRingBufferHistory:
+    """The ring-buffer disturbance history must hand out exactly the
+    chronological ``r``-windows the rolling-copy implementation did
+    (satellite regression for the fused per-step pipeline)."""
+
+    MEMORY = 4
+    STEPS = 11
+
+    def _setup(self, di_batch):
+        make, _factory, states, _xp = di_batch
+        runner = make(BatchRunner)
+        rng = np.random.default_rng(77)
+        realisations = [
+            rng.uniform(-0.02, 0.02, size=(self.STEPS, 2))
+            for _ in range(len(states))
+        ]
+        return runner, states, realisations
+
+    def test_windows_match_serial_and_expectation(self, di_batch):
+        from repro.framework import IntermittentController
+
+        runner, states, realisations = self._setup(di_batch)
+        count = len(states)
+
+        shared_log = []
+        shared = _WindowRecorder(shared_log)
+        run_lockstep(
+            runner.system,
+            runner.controller,
+            [runner.monitor_factory() for _ in range(count)],
+            [shared] * count,
+            states,
+            realisations,
+            memory_length=self.MEMORY,
+        )
+        # With every row free and RUN each step, decide_batch sees the
+        # episodes in index order: entry t*count + i belongs to (t, i).
+        per_time = {}
+        for time_index, window in shared_log:
+            per_time.setdefault(time_index, []).append(window)
+        assert set(per_time) == set(range(self.STEPS))
+        assert all(len(v) == count for v in per_time.values())
+
+        for episode in range(count):
+            serial_log = []
+            serial = IntermittentController(
+                runner.system,
+                runner.controller,
+                runner.monitor_factory(),
+                _WindowRecorder(serial_log),
+                memory_length=self.MEMORY,
+            )
+            serial.run(states[episode], realisations[episode])
+            assert len(serial_log) == self.STEPS
+            for t, serial_window in serial_log:
+                lockstep_window = per_time[t][episode]
+                assert np.array_equal(serial_window, lockstep_window)
+                # explicit expectation: last r disturbances, zero-padded
+                expected = np.zeros((self.MEMORY, 2))
+                w = realisations[episode][max(0, t - self.MEMORY + 1) : t + 1]
+                expected[self.MEMORY - len(w) :] = w
+                assert np.array_equal(lockstep_window, expected)
+
+    def test_memory_one_unchanged(self, di_batch):
+        runner, states, realisations = self._setup(di_batch)
+        log = []
+        shared = _WindowRecorder(log)
+        run_lockstep(
+            runner.system,
+            runner.controller,
+            [runner.monitor_factory() for _ in states],
+            [shared] * len(states),
+            states,
+            realisations,
+            memory_length=1,
+        )
+        for t, window in log:
+            assert window.shape == (1, 2)
+
+
+class TestCollectTiming:
+    """collect_timing=False zeroes the wall-clock arrays and changes
+    nothing else, bit for bit."""
+
+    def test_records_bitwise_identical_timing_zeroed(self, di_batch):
+        make, _factory, states, _xp = di_batch
+        runner = make(BatchRunner)
+        rng = np.random.default_rng(13)
+        realisations = [
+            rng.uniform(-0.02, 0.02, size=(HORIZON, 2)) for _ in states
+        ]
+
+        def batch(collect_timing):
+            return run_lockstep(
+                runner.system,
+                runner.controller,
+                [runner.monitor_factory() for _ in states],
+                [PeriodicSkipPolicy(2) for _ in states],
+                states,
+                realisations,
+                collect_timing=collect_timing,
+            )
+
+        timed, untimed = batch(True), batch(False)
+        assert any(stats.controller_seconds.any() for stats in timed)
+        assert any(stats.monitor_seconds.any() for stats in timed)
+        for a, b in zip(timed, untimed):
+            assert np.array_equal(a.states, b.states)
+            assert np.array_equal(a.inputs, b.inputs)
+            assert np.array_equal(a.decisions, b.decisions)
+            assert np.array_equal(a.forced, b.forced)
+            assert np.array_equal(a.disturbances, b.disturbances)
+            assert not b.controller_seconds.any()
+            assert not b.monitor_seconds.any()
+
+    def test_controller_only_timing_flag(self, di_batch):
+        make, _factory, states, _xp = di_batch
+        runner = make(BatchRunner)
+        rng = np.random.default_rng(13)
+        realisations = [
+            rng.uniform(-0.02, 0.02, size=(HORIZON, 2)) for _ in states
+        ]
+        timed = lockstep_controller_only(
+            runner.system, runner.controller, states, realisations
+        )
+        untimed = lockstep_controller_only(
+            runner.system, runner.controller, states, realisations,
+            collect_timing=False,
+        )
+        assert any(stats.controller_seconds.any() for stats in timed)
+        for a, b in zip(timed, untimed):
+            assert np.array_equal(a.states, b.states)
+            assert np.array_equal(a.inputs, b.inputs)
+            assert not b.controller_seconds.any()
+
+    def test_runner_threads_collect_timing(self, di_batch):
+        make, factory, states, _xp = di_batch
+        timed = make(LockstepEngine, lambda: PeriodicSkipPolicy(2))
+        untimed = make(
+            LockstepEngine, lambda: PeriodicSkipPolicy(2), collect_timing=False
+        )
+        a = timed.run_seeded(states, factory, ROOT_SEED)
+        b = untimed.run_seeded(states, factory, ROOT_SEED)
+        assert a.deterministic_records() == b.deterministic_records()
+        assert all(r.mean_controller_ms == 0.0 for r in b.records)
+        assert any(r.mean_controller_ms > 0.0 for r in a.records)
