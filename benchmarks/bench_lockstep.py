@@ -68,6 +68,7 @@ from repro.framework import (
     StageProfiler,
     numba_available,
 )
+from repro.observability import metrics as _obs
 from repro.skipping import AlwaysSkipPolicy
 
 
@@ -110,8 +111,27 @@ def run_benchmark(
     Returns:
         Dict with per-configuration throughput, speedup over that
         configuration's serial baseline, the determinism contract each
-        row was checked under, and its pass/fail flag (``ok``).
+        row was checked under, its pass/fail flag (``ok``), and the
+        run's telemetry snapshot (``telemetry``) — the whole benchmark
+        runs under its own enabled registry.
     """
+    with _obs.scoped_registry(enabled=True) as reg:
+        report = _run_benchmark(
+            episodes, horizon, jobs, seed, experiment, controllers, profile
+        )
+        report["telemetry"] = reg.snapshot()
+    return report
+
+
+def _run_benchmark(
+    episodes: int,
+    horizon: int,
+    jobs: int,
+    seed: int,
+    experiment: str,
+    controllers,
+    profile: bool,
+) -> dict:
     case = build_case_study()
     factory = acc_disturbance_factory(case, experiment, horizon)
     rng = np.random.default_rng(seed)

@@ -22,7 +22,11 @@ the two-tier determinism contract (see ``repro.framework.lockstep``):
   first inputs) at the batch's initial states; and
 * **zero safety violations** everywhere — the strict certified monitor
   never saw a state leave ``XI`` (it would raise), and no visited state
-  violates the safe set ``X`` (``max_violation <= 0``) under any engine.
+  violates the safe set ``X`` (``max_violation <= 0``) under any engine;
+* **telemetry transparency** — the same paired evaluation run with full
+  telemetry (spans, stage profiling, metrics) produces bitwise-identical
+  deterministic metric arrays to the telemetry-off run, for every
+  scenario (the :mod:`repro.observability` hard contract).
 
 Any mismatch or violation makes the script exit non-zero.
 """
@@ -38,8 +42,43 @@ import numpy as np
 
 from repro import scenarios
 from repro.controllers import verify_plan_equivalence
+from repro.experiments import ExecutionConfig, ExperimentSpec, run_experiment
 from repro.framework import BatchRunner
 from repro.skipping import AlwaysSkipPolicy
+
+
+def _deterministic_metrics(cell) -> dict:
+    """A cell's per-approach metric arrays as comparable nested lists."""
+    return {
+        name: {
+            metric: values.tolist()
+            for metric, values in stats.metrics.items()
+        }
+        for name, stats in cell.approaches.items()
+    }
+
+
+def telemetry_parity(name: str, episodes: int, horizon: int, seed: int) -> bool:
+    """True iff telemetry on/off leaves the paired evaluation bitwise-equal.
+
+    Runs the scenario's paired lockstep evaluation twice — once plain,
+    once with full telemetry (cell/episode-batch spans, per-approach
+    stage profiling, solver-effort probes) — and compares every
+    deterministic per-case metric array exactly.
+    """
+    spec = ExperimentSpec(
+        scenario=name, num_cases=episodes, horizon=horizon, seed=seed
+    )
+    plain = run_experiment(
+        spec, ExecutionConfig(engine="lockstep", telemetry=False)
+    )
+    instrumented = run_experiment(
+        spec, ExecutionConfig(engine="lockstep", telemetry=True)
+    )
+    return (
+        _deterministic_metrics(plain) == _deterministic_metrics(instrumented)
+        and instrumented.telemetry is not None
+    )
 
 
 def bench_scenario(
@@ -89,6 +128,7 @@ def bench_scenario(
         for result in (serial_result, lockstep_result)
         for record in result.records
     )
+    transparent = telemetry_parity(name, episodes, horizon, seed)
     return {
         "scenario": name,
         "n": case.system.n,
@@ -100,6 +140,7 @@ def bench_scenario(
         "speedup": serial_seconds / lockstep_seconds,
         "identical": identical,
         "parity": parity,
+        "telemetry_transparent": transparent,
         "max_violation": max_violation,
         "safe": max_violation <= 0.0,
     }
@@ -117,7 +158,10 @@ def run_benchmark(
         "horizon": horizon,
         "seed": seed,
         "rows": rows,
-        "ok": all(row["parity"] and row["safe"] for row in rows),
+        "ok": all(
+            row["parity"] and row["safe"] and row["telemetry_transparent"]
+            for row in rows
+        ),
     }
 
 
@@ -147,7 +191,7 @@ def main(argv=None) -> int:
     print(
         f"{'scenario':<14} {'n':>2} {'ctrl':<7} {'contract':>15} "
         f"{'build[s]':>9} {'serial[s]':>9} {'lock[s]':>8} {'speedup':>8} "
-        f"{'parity':>6} {'max viol':>9}"
+        f"{'parity':>6} {'telem':>5} {'max viol':>9}"
     )
     for row in report["rows"]:
         print(
@@ -155,7 +199,8 @@ def main(argv=None) -> int:
             f"{row['contract']:>15} "
             f"{row['build_seconds']:>9.2f} {row['serial_seconds']:>9.2f} "
             f"{row['lockstep_seconds']:>8.2f} {row['speedup']:>7.2f}x "
-            f"{str(row['parity']):>6} {row['max_violation']:>9.2e}"
+            f"{str(row['parity']):>6} {str(row['telemetry_transparent']):>5} "
+            f"{row['max_violation']:>9.2e}"
         )
     if args.json:
         with open(args.json, "w") as handle:
@@ -163,13 +208,15 @@ def main(argv=None) -> int:
         print(f"report written to {args.json}")
     if not report["ok"]:
         print(
-            "ERROR: an engine failed its determinism-contract check "
-            "or a trajectory left the safe set"
+            "ERROR: an engine failed its determinism-contract check, "
+            "telemetry perturbed the deterministic records, or a "
+            "trajectory left the safe set"
         )
         return 1
     print(
         "all scenarios: determinism contract holds "
-        "(bitwise / plan-equivalent), zero violations"
+        "(bitwise / plan-equivalent), telemetry transparent, "
+        "zero violations"
     )
     return 0
 

@@ -33,8 +33,60 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 
 import numpy as np
+
+
+def _echo(text="", err: bool = False) -> None:
+    """Write one line of user-facing CLI output.
+
+    The CLI's tables go to stdout via this helper; diagnostics go
+    through :mod:`logging` (``-v``/``-vv``; see
+    :mod:`repro.observability.logconfig`), so the two streams never
+    interleave in pipelines.
+    """
+    stream = sys.stderr if err else sys.stdout
+    stream.write(str(text) + "\n")
+
+
+def _telemetry_scope(args):
+    """``(context manager, on)`` for a subcommand's telemetry flags."""
+    from repro.observability import metrics as _obs
+
+    on = bool(getattr(args, "telemetry", False)) or bool(
+        getattr(args, "telemetry_out", None)
+    )
+    return (_obs.scoped_registry(enabled=True) if on else nullcontext(None)), on
+
+
+def _emit_snapshot(snapshot: dict, out) -> None:
+    """Render a snapshot to stdout, or write it as JSON to ``out``."""
+    import json
+
+    from repro.observability import render_table
+
+    if out:
+        with open(out, "w") as handle:
+            json.dump(snapshot, handle, indent=2)
+        _echo(f"telemetry snapshot written to {out}")
+    else:
+        _echo()
+        _echo(render_table(snapshot))
+
+
+def _add_telemetry_flags(parser) -> None:
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="collect metrics/spans for this run and print the snapshot "
+             "table (deterministic record fields are bitwise-unchanged)",
+    )
+    parser.add_argument(
+        "--telemetry-out", default=None, metavar="PATH", dest="telemetry_out",
+        help="write the telemetry snapshot as JSON to PATH instead of "
+             "printing it (implies --telemetry; inspect later with "
+             "`repro telemetry PATH`)",
+    )
 
 
 def _cmd_sets(args) -> int:
@@ -42,8 +94,8 @@ def _cmd_sets(args) -> int:
     from repro.geometry import ascii_sets
 
     case = build_case_study()
-    print("Nested safe sets (paper Fig. 1): '.'=X  '+'=XI  '#'=X'\n")
-    print(
+    _echo("Nested safe sets (paper Fig. 1): '.'=X  '+'=XI  '#'=X'\n")
+    _echo(
         ascii_sets(
             [case.system.safe_set, case.invariant_set, case.strengthened_set],
             glyphs=[".", "+", "#"],
@@ -51,7 +103,7 @@ def _cmd_sets(args) -> int:
             height=args.height,
         )
     )
-    print(f"\nareas: X={case.system.safe_set.volume():.0f} "
+    _echo(f"\nareas: X={case.system.safe_set.volume():.0f} "
           f"XI={case.invariant_set.volume():.0f} "
           f"X'={case.strengthened_set.volume():.0f}")
     return 0
@@ -61,7 +113,7 @@ def _cmd_compare(args) -> int:
     from repro.acc import build_case_study, evaluate_approaches, train_skipping_agent
 
     case = build_case_study()
-    print(f"training DQN ({args.episodes} episodes, {args.restarts} restart(s))...")
+    _echo(f"training DQN ({args.episodes} episodes, {args.restarts} restart(s))...")
     agent, _env, _history = train_skipping_agent(
         case, args.experiment, episodes=args.episodes, seed=args.seed,
         restarts=args.restarts,
@@ -72,11 +124,11 @@ def _cmd_compare(args) -> int:
         engine=_resolve_engine(args), exact_solves=args.exact_solves,
         lp_backend=args.lp_backend,
     )
-    print(f"\n{'approach':<12} {'fuel[g]':>8} {'saving':>8} {'skip%':>6}")
-    print(f"{'RMPC-only':<12} {result.rmpc_only.fuel.mean():8.2f} {'-':>8} {0:5d}%")
+    _echo(f"\n{'approach':<12} {'fuel[g]':>8} {'saving':>8} {'skip%':>6}")
+    _echo(f"{'RMPC-only':<12} {result.rmpc_only.fuel.mean():8.2f} {'-':>8} {0:5d}%")
     for name in ("bang_bang", "drl"):
         stats = result.stats(name)
-        print(
+        _echo(
             f"{name:<12} {stats.fuel.mean():8.2f} "
             f"{100*result.fuel_saving(name).mean():7.2f}% "
             f"{100*stats.skip_rate.mean():5.0f}%"
@@ -102,7 +154,7 @@ def _cmd_experiment(args) -> int:
         engine=_resolve_engine(args), exact_solves=args.exact_solves,
         lp_backend=args.lp_backend,
     )
-    print(
+    _echo(
         f"{args.name}: DRL saving {100*result.fuel_saving('drl').mean():.2f}%  "
         f"bang-bang {100*result.fuel_saving('bang_bang').mean():.2f}%  "
         f"(skip {result.drl.skip_rate.mean():.2f}, "
@@ -154,18 +206,18 @@ def _cmd_scenarios(args) -> int:
     from repro import scenarios
 
     names = scenarios.list_scenarios()
-    print(f"{len(names)} registered scenario(s):\n")
+    _echo(f"{len(names)} registered scenario(s):\n")
     if not args.detail:
-        print(f"{'name':<14} {'n':>2} {'m':>2} {'controller':<10} description")
+        _echo(f"{'name':<14} {'n':>2} {'m':>2} {'controller':<10} description")
         for name in names:
             spec = scenarios.get(name)
-            print(
+            _echo(
                 f"{name:<14} {spec.n:>2} {spec.m:>2} {spec.controller:<10} "
                 f"{spec.description}"
             )
-        print("\n(--detail synthesises each scenario's certified sets)")
+        _echo("\n(--detail synthesises each scenario's certified sets)")
         return 0
-    print(
+    _echo(
         f"{'name':<14} {'n':>2} {'controller':<10} {'build[s]':>9} "
         f"{'XI rows':>7} {'X` rows':>7} {'X` radius':>9}"
     )
@@ -174,7 +226,7 @@ def _cmd_scenarios(args) -> int:
         case = scenarios.build(name)
         elapsed = time.perf_counter() - tick
         _, radius = case.strengthened_set.chebyshev_center()
-        print(
+        _echo(
             f"{name:<14} {case.system.n:>2} {case.spec.controller:<10} "
             f"{elapsed:>9.2f} {case.invariant_set.num_constraints:>7} "
             f"{case.strengthened_set.num_constraints:>7} {radius:>9.4f}"
@@ -195,27 +247,28 @@ def _cmd_sweep(args) -> int:
         horizon=args.horizon,
         seed=args.seed,
     )
+    telemetry_on = args.telemetry or bool(args.telemetry_out)
     execution = ExecutionConfig(
         engine=args.engine, jobs=args.jobs, exact_solves=args.exact_solves,
         lp_backend=args.lp_backend, collect_timing=args.collect_timing,
-        kernel=args.kernel,
+        kernel=args.kernel, telemetry=telemetry_on,
     )
     cells = len(plan.cells())
-    print(
+    _echo(
         f"grid sweep: {len(names)} scenario(s)"
         + "".join(f" x {len(axis)} {axis.name}" for axis in axes)
         + f" = {cells} cell(s), {args.cases} cases x {args.horizon} steps, "
         f"engine={args.engine}, jobs={args.jobs}, seed={args.seed}\n"
     )
     result = run_sweep(plan, execution)
-    print(
+    _echo(
         f"{'cell':<26} {'approach':<10} {'saving':>8} {'skip%':>6} "
         f"{'forced':>7} {'max viol':>9} {'safe':>5}"
     )
     for row in result.rows():
         if row["approach"] == "baseline":
             continue
-        print(
+        _echo(
             f"{(row['scenario'] + ('@' + row['point'] if row['point'] else '')):<26} "
             f"{row['approach']:<10} "
             f"{100 * row['energy_saving']:7.1f}% "
@@ -229,11 +282,13 @@ def _cmd_sweep(args) -> int:
             result.to_csv(args.out)
         else:
             result.to_json(args.out)
-        print(f"\nsweep table written to {args.out}")
+        _echo(f"\nsweep table written to {args.out}")
+    if telemetry_on:
+        _emit_snapshot(result.telemetry, args.telemetry_out)
     if not result.always_safe:
-        print("\nERROR: a trajectory left the safe set under the monitor")
+        _echo("\nERROR: a trajectory left the safe set under the monitor")
         return 1
-    print("\nall scenarios safe under the certified monitor")
+    _echo("\nall scenarios safe under the certified monitor")
     return 0
 
 
@@ -254,11 +309,11 @@ def _cmd_batch(args) -> int:
         )
     else:
         if args.experiment is not None:
-            print(
+            _echo(
                 f"error: --experiment selects an ACC front-vehicle pattern "
                 f"and does not apply to scenario {args.scenario!r} "
                 "(non-ACC scenarios draw i.i.d. disturbances from their W)",
-                file=sys.stderr,
+                err=True,
             )
             return 2
         from repro import scenarios
@@ -284,16 +339,19 @@ def _cmd_batch(args) -> int:
         )
     rng = np.random.default_rng(args.seed)
     states = case.sample_initial_states(rng, args.episodes)
+    scope, telemetry_on = _telemetry_scope(args)
     tick = time.perf_counter()
-    result = runner.run_seeded(states, factory, root_seed=args.seed)
+    with scope as reg:
+        result = runner.run_seeded(states, factory, root_seed=args.seed)
+        snapshot = reg.snapshot() if reg is not None else None
     elapsed = time.perf_counter() - tick
-    print(
+    _echo(
         f"{len(result)} episodes in {elapsed:.2f}s "
         f"({len(result) / elapsed:.2f} ep/s, scenario={args.scenario}, "
         f"engine={engine}, jobs={args.jobs})"
     )
     if result.records:
-        print(
+        _echo(
             f"skip rate {result.mean('skip_rate'):.3f}  "
             f"energy {result.mean('energy'):.3f}  "
             f"forced {result.mean('forced_steps'):.2f}  "
@@ -304,7 +362,35 @@ def _cmd_batch(args) -> int:
             result.to_csv(args.out)
         else:
             result.to_json(args.out)
-        print(f"records written to {args.out}")
+        _echo(f"records written to {args.out}")
+    if telemetry_on:
+        _emit_snapshot(snapshot, args.telemetry_out)
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    import json
+
+    from repro.observability import render_prometheus, render_table
+
+    with open(args.file) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and "counters" in payload:
+        snapshot = payload  # a bare snapshot
+    elif isinstance(payload, dict):
+        snapshot = payload.get("telemetry")  # embedded (sweep JSON, bench)
+    else:
+        snapshot = None
+    if not isinstance(snapshot, dict):
+        _echo(
+            f"error: {args.file} contains no telemetry snapshot (expected "
+            "a snapshot object or a result JSON with a 'telemetry' key — "
+            "was the run made with --telemetry?)",
+            err=True,
+        )
+        return 2
+    render = render_prometheus if args.format == "prometheus" else render_table
+    _echo(render(snapshot))
     return 0
 
 
@@ -323,11 +409,11 @@ def _cmd_timing(args) -> int:
     t_monitor = timeit.timeit(
         lambda: case.strengthened_set.contains(states[0]), number=200
     ) / 200
-    print(f"controller: {1e3*t_controller:.3f} ms/step")
-    print(f"monitor:    {1e3*t_monitor:.4f} ms/step")
+    _echo(f"controller: {1e3*t_controller:.3f} ms/step")
+    _echo(f"monitor:    {1e3*t_monitor:.4f} ms/step")
     for skips in (60, 79, 90):
         saving = computation_saving(t_controller, t_monitor, 100, skips)
-        print(f"computation saving at {skips} skips/100: {100*saving:.1f}%")
+        _echo(f"computation saving at {skips} skips/100: {100*saving:.1f}%")
     return 0
 
 
@@ -392,6 +478,11 @@ def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="DAC'20 opportunistic intermittent control"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="diagnostic logging on stderr under the 'repro' logger "
+             "namespace (-v: INFO, -vv: DEBUG); tables stay on stdout",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -459,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flag(p_bat)
     _add_kernel_flags(p_bat)
+    _add_telemetry_flags(p_bat)
     p_bat.set_defaults(func=_cmd_batch)
 
     p_tim = sub.add_parser("timing", help="computation-saving numbers")
@@ -511,16 +603,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument(
         "--out", default=None,
         help="write the sweep table to this path (.csv for the flat "
-             "aggregate table, else full-fidelity JSON)",
+             "aggregate table, else full-fidelity JSON — telemetry "
+             "snapshots are embedded in the JSON form)",
     )
+    _add_telemetry_flags(p_swp)
     p_swp.set_defaults(func=_cmd_sweep)
+
+    p_tel = sub.add_parser(
+        "telemetry", help="render a saved telemetry snapshot"
+    )
+    p_tel.add_argument(
+        "file",
+        help="a snapshot JSON (--telemetry-out), a sweep JSON (--out), or "
+             "any JSON with a 'telemetry' key",
+    )
+    p_tel.add_argument(
+        "--format", choices=("table", "prometheus"), default="table",
+        help="output format (prometheus = text exposition format)",
+    )
+    p_tel.set_defaults(func=_cmd_telemetry)
     return parser
 
 
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
+    from repro.observability import configure_logging
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.verbose)
     return args.func(args)
 
 

@@ -66,6 +66,7 @@ from repro.controllers.linear import lqr_gain
 from repro.controllers.tightening import tightened_constraints
 from repro.geometry import HPolytope
 from repro.invariance.rci import maximal_rpi
+from repro.observability.metrics import registry as _telemetry
 from repro.systems.lti import DiscreteLTISystem
 from repro.utils.lp import BlockStack, LPError, solve_lp_batch
 from repro.utils.lp_backends import BACKENDS, resolve_backend
@@ -198,6 +199,13 @@ class RobustMPC(Controller):
         self._stack = BlockStack(self._A_ub, self._A_eq)
         self._persistent = None
         self._solve_count = 0
+        # Always-on effort accounting behind the solver-effort columns of
+        # SweepResult.rows(): scalar vs stacked split, fallback events,
+        # and the backend the last stacked solve actually used.
+        self._scalar_solves = 0
+        self._stacked_solves = 0
+        self._stacked_fallbacks = 0
+        self._last_stacked_backend = None
 
     # ------------------------------------------------------------------
     # LP assembly
@@ -341,6 +349,8 @@ class RobustMPC(Controller):
                 f"RMPC infeasible at x={x} (status={res.status})"
             )
         self._solve_count += 1
+        self._scalar_solves += 1
+        _telemetry().inc("rmpc_solves_total", path="scalar")
         return self._unpack(res.x, res.fun)
 
     def set_lp_backend(self, backend: str) -> None:
@@ -420,17 +430,21 @@ class RobustMPC(Controller):
         if X.shape[1] != self.system.n:
             raise ValueError("state dimension mismatch")
         k = X.shape[0]
+        stacked_backend = None
         try:
             if k > 1 and resolve_backend(self.lp_backend) == "highs":
                 # Persistent warm-started stack: only the initial-state
                 # equality RHS is rewritten between calls.  All-or-
                 # nothing: a failed chunk discards every chunk's result
                 # before the fallback, so nothing is counted twice.
+                stacked_backend = "highs"
                 solutions = self._persistent_solver().solve_batch(X)
             else:
                 # k == 1 delegates to the scalar solver inside
                 # solve_lp_batch (bitwise with solve()) regardless of
                 # backend, so the single-row contract is backend-free.
+                if k > 1:
+                    stacked_backend = "scipy"
                 b_eq = np.tile(self._b_eq, (k, 1))
                 b_eq[:, self._x0_rows] = X
                 solutions = solve_lp_batch(
@@ -446,8 +460,21 @@ class RobustMPC(Controller):
             # (or numerical failure) is attributed to the exact episode.
             # solve() does the per-row counting; the failed stacked
             # attempt deliberately counts nothing.
+            self._stacked_fallbacks += 1
+            _telemetry().inc("rmpc_stacked_fallbacks_total")
             return [self.solve(x) for x in X]
         self._solve_count += k
+        if stacked_backend is None:
+            # k == 1 took the scalar solver inside solve_lp_batch.
+            self._scalar_solves += 1
+            _telemetry().inc("rmpc_solves_total", path="scalar")
+        else:
+            self._stacked_solves += k
+            self._last_stacked_backend = stacked_backend
+            _telemetry().inc(
+                "rmpc_solves_total", k, path="stacked", backend=stacked_backend
+            )
+            _telemetry().observe("rmpc_stacked_batch_size", k)
         return [self._unpack(sol.x, sol.value) for sol in solutions]
 
     def compute(self, state) -> np.ndarray:
@@ -484,8 +511,25 @@ class RobustMPC(Controller):
         :meth:`is_feasible` probes count zero."""
         return self._solve_count
 
+    @property
+    def solver_stats(self) -> dict:
+        """Effort breakdown behind :attr:`solve_count`: the scalar vs
+        stacked split, stacked→scalar fallback events, and the backend
+        the last stacked solve used (None until one ran).  Zeroed by
+        :meth:`reset` together with the count."""
+        return {
+            "scalar_solves": self._scalar_solves,
+            "stacked_solves": self._stacked_solves,
+            "stacked_fallbacks": self._stacked_fallbacks,
+            "lp_backend": self._last_stacked_backend,
+        }
+
     def reset(self) -> None:
         self._solve_count = 0
+        self._scalar_solves = 0
+        self._stacked_solves = 0
+        self._stacked_fallbacks = 0
+        self._last_stacked_backend = None
 
 
 def verify_plan_equivalence(

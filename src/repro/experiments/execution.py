@@ -70,6 +70,15 @@ class ExecutionConfig:
             ``"numpy"``: never; see :mod:`repro.framework.kernel`).
             The kernel tier is bitwise, so deterministic metrics are
             kernel-invariant by construction.
+        telemetry: Collect full telemetry for the sweep — spans, folded
+            stage timings, and a metrics snapshot embedded per
+            :class:`~repro.experiments.result.CellResult` and on the
+            :class:`~repro.experiments.result.SweepResult`
+            (:mod:`repro.observability`).  Hard contract: telemetry
+            never touches deterministic record fields, so every metric
+            is bitwise-identical with telemetry on or off.  ``False``
+            also defers to a globally enabled registry
+            (:func:`repro.observability.enable_telemetry`).
     """
 
     engine: str = "serial"
@@ -79,6 +88,7 @@ class ExecutionConfig:
     shard: str = "auto"
     collect_timing: bool = True
     kernel: str = "auto"
+    telemetry: bool = False
 
     def __post_init__(self):
         if self.engine not in ENGINES:

@@ -40,11 +40,19 @@ CSV_COLUMNS = (
     "mean_controller_ms",
     "mean_monitor_ms",
     "safe",
+    "solve_count",
+    "stacked_solves",
+    "scalar_solves",
+    "lp_backend_used",
 )
 
-_INT_COLUMNS = frozenset({"cases", "horizon", "seed"})
+_INT_COLUMNS = frozenset(
+    {"cases", "horizon", "seed", "solve_count", "stacked_solves",
+     "scalar_solves"}
+)
 _BOOL_COLUMNS = frozenset({"exact_solves", "safe"})
 _STR_COLUMNS = frozenset({"key", "scenario", "point", "approach", "engine"})
+_OPT_STR_COLUMNS = frozenset({"lp_backend_used"})
 
 #: Wall-clock-derived columns excluded from determinism comparisons.
 TIMING_COLUMNS = frozenset({"mean_controller_ms", "mean_monitor_ms"})
@@ -52,6 +60,14 @@ TIMING_COLUMNS = frozenset({"mean_controller_ms", "mean_monitor_ms"})
 #: Execution-metadata columns (how a sweep ran, not what it computed),
 #: also excluded when comparing runs across engines/tiers/worker counts.
 EXECUTION_COLUMNS = frozenset({"engine", "exact_solves"})
+
+#: Solver-effort columns.  Like execution metadata they describe *how*
+#: a cell was computed — the lockstep engine batches solves the serial
+#: engine performs one by one — so they are excluded from the
+#: deterministic comparison view too.
+SOLVER_COLUMNS = frozenset(
+    {"solve_count", "stacked_solves", "scalar_solves", "lp_backend_used"}
+)
 
 
 @dataclass
@@ -64,11 +80,17 @@ class ApproachResult:
             adds ``fuel``).
         mean_controller_ms: Mean κ wall-clock per invocation [ms].
         mean_monitor_ms: Mean monitor+Ω wall-clock per step [ms].
+        solver: Solver-effort summary for this approach's leg
+            (``solve_count``, ``scalar_solves``, ``stacked_solves``,
+            ``stacked_fallbacks``, ``lp_backend``), measured from the
+            always-on telemetry counters — or ``None`` when the
+            controller performs no LP solves (linear feedback κ).
     """
 
     metrics: Dict[str, np.ndarray]
     mean_controller_ms: float
     mean_monitor_ms: float
+    solver: Optional[dict] = None
 
 
 @dataclass
@@ -84,6 +106,9 @@ class CellResult:
             ``pattern``).
         approaches: Approach name → :class:`ApproachResult`; the
             κ-every-step reference leg is ``"baseline"``.
+        telemetry: This cell's metrics/span snapshot
+            (:meth:`repro.observability.MetricsRegistry.snapshot`) when
+            the cell ran with telemetry enabled, else ``None``.
     """
 
     key: str
@@ -91,6 +116,7 @@ class CellResult:
     coords: tuple
     config: dict
     approaches: Dict[str, ApproachResult]
+    telemetry: Optional[dict] = None
 
     def stats(self, approach: str) -> ApproachResult:
         """Stats by approach name (``"baseline"`` or a policy name)."""
@@ -137,6 +163,7 @@ class CellResult:
         rows = []
         for name, stats in self.approaches.items():
             fuel = stats.metrics.get("fuel")
+            solver = stats.solver or {}
             rows.append(
                 {
                     "key": f"{self.key}/{name}",
@@ -174,6 +201,10 @@ class CellResult:
                     "safe": bool(
                         float(stats.metrics["max_violation"].max()) <= 0.0
                     ),
+                    "solve_count": solver.get("solve_count"),
+                    "stacked_solves": solver.get("stacked_solves"),
+                    "scalar_solves": solver.get("scalar_solves"),
+                    "lp_backend_used": solver.get("lp_backend"),
                 }
             )
         return rows
@@ -195,11 +226,19 @@ class SweepResult:
     aggregate row table exactly (floats are written with ``repr``).
     """
 
-    def __init__(self, cells, rows: Optional[List[dict]] = None):
+    def __init__(
+        self,
+        cells,
+        rows: Optional[List[dict]] = None,
+        telemetry: Optional[dict] = None,
+    ):
         self.cells: List[CellResult] = list(cells)
         if rows is None:
             rows = [row for cell in self.cells for row in cell.rows()]
         self._rows = [dict(row) for row in rows]
+        #: The whole sweep's merged metrics/span snapshot when it ran
+        #: with telemetry enabled, else ``None``.
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -230,9 +269,10 @@ class SweepResult:
         return [row["key"] for row in self._rows]
 
     def deterministic_rows(self) -> List[dict]:
-        """Rows minus wall-clock and execution-metadata columns — the
-        cross-worker/engine comparison view of the sharding contract."""
-        excluded = TIMING_COLUMNS | EXECUTION_COLUMNS
+        """Rows minus wall-clock, execution-metadata and solver-effort
+        columns — the cross-worker/engine comparison view of the
+        sharding contract."""
+        excluded = TIMING_COLUMNS | EXECUTION_COLUMNS | SOLVER_COLUMNS
         return [
             {k: v for k, v in row.items() if k not in excluded}
             for row in self._rows
@@ -298,12 +338,15 @@ class SweepResult:
                             },
                             "mean_controller_ms": stats.mean_controller_ms,
                             "mean_monitor_ms": stats.mean_monitor_ms,
+                            "solver": stats.solver,
                         }
                         for name, stats in cell.approaches.items()
                     },
+                    "telemetry": cell.telemetry,
                 }
                 for cell in self.cells
-            ]
+            ],
+            "telemetry": self.telemetry,
         }
         with open(path, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -327,13 +370,15 @@ class SweepResult:
                         },
                         mean_controller_ms=float(stats["mean_controller_ms"]),
                         mean_monitor_ms=float(stats["mean_monitor_ms"]),
+                        solver=stats.get("solver"),
                     )
                     for name, stats in entry["approaches"].items()
                 },
+                telemetry=entry.get("telemetry"),
             )
             for entry in payload["cells"]
         ]
-        return cls(cells=cells)
+        return cls(cells=cells, telemetry=payload.get("telemetry"))
 
 
 def _parse_csv_field(column: str, value: str):
@@ -341,6 +386,8 @@ def _parse_csv_field(column: str, value: str):
         return value
     if value == "":
         return None
+    if column in _OPT_STR_COLUMNS:
+        return value
     if column in _INT_COLUMNS:
         return int(value)
     if column in _BOOL_COLUMNS:

@@ -26,7 +26,9 @@ of the paper's own Sec.-IV evaluation.
 
 from __future__ import annotations
 
+import logging
 import re
+from contextlib import nullcontext
 from dataclasses import dataclass, fields, replace
 from typing import Callable, Dict, List, Mapping, Optional
 
@@ -47,12 +49,15 @@ from repro.experiments.spec import (
     ExperimentSpec,
 )
 from repro.framework.evaluation import paired_evaluation
+from repro.observability import metrics as _obs
 from repro.scenarios.spec import ScenarioSpec
 from repro.skipping.base import AlwaysSkipPolicy, SkippingPolicy
 from repro.skipping.heuristics import PeriodicSkipPolicy
 from repro.utils.parallel import fork_map, resolve_jobs
 
 __all__ = ["run_experiment", "run_sweep"]
+
+logger = logging.getLogger(__name__)
 
 _PERIODIC = re.compile(r"^periodic([1-9]\d*)$")
 
@@ -344,7 +349,9 @@ def _materialise(cell: GridCell) -> _Workload:
     return _generic_workload(spec, cell.overrides)
 
 
-def _finalize(rows: List[tuple], metric_names: tuple) -> ApproachResult:
+def _finalize(
+    rows: List[tuple], metric_names: tuple, solver: Optional[dict] = None
+) -> ApproachResult:
     columns = list(zip(*rows))
     metrics = {
         name: np.array(columns[i]) for i, name in enumerate(metric_names)
@@ -353,6 +360,7 @@ def _finalize(rows: List[tuple], metric_names: tuple) -> ApproachResult:
         metrics=metrics,
         mean_controller_ms=float(np.mean(columns[len(metric_names)])),
         mean_monitor_ms=float(np.mean(columns[len(metric_names) + 1])),
+        solver=solver,
     )
 
 
@@ -371,6 +379,11 @@ def _evaluate_cell(
 
     approaches: Dict[str, Optional[SkippingPolicy]] = {"baseline": None}
     approaches.update(policies)
+    logger.debug(
+        "cell %s: %d approaches x %d cases (engine=%s)",
+        cell.key, len(approaches), spec.num_cases, execution.engine,
+    )
+    solver_effort: Dict[str, Optional[dict]] = {}
     collected = paired_evaluation(
         workload.system,
         workload.controller,
@@ -387,6 +400,7 @@ def _evaluate_cell(
         lp_backend=execution.lp_backend,
         collect_timing=execution.collect_timing,
         kernel=execution.kernel,
+        solver_effort=solver_effort,
     )
     return CellResult(
         key=cell.key,
@@ -405,10 +419,38 @@ def _evaluate_cell(
             "pattern": spec.pattern,
         },
         approaches={
-            name: _finalize(collected[name], workload.metric_names)
+            name: _finalize(
+                collected[name], workload.metric_names,
+                solver_effort.get(name),
+            )
             for name in approaches
         },
     )
+
+
+def _cell_with_scope(
+    cell: GridCell,
+    execution: ExecutionConfig,
+    inner_jobs: int,
+    require_stateless: bool,
+    telemetry_on: bool,
+):
+    """Run one cell under its own registry; return ``(result, snapshot)``.
+
+    Both the sharded path (inside the forked worker) and the in-process
+    path run cells through this exact scope, and the caller merges the
+    returned snapshots in grid order — which is what makes a ``jobs=k``
+    sweep's merged telemetry equal the ``jobs=1`` run's exactly.
+    """
+    with _obs.scoped_registry(enabled=telemetry_on) as reg:
+        with reg.span("cell", key=cell.key, scenario=cell.experiment.display_label):
+            result = _evaluate_cell(
+                cell, execution, inner_jobs, require_stateless=require_stateless
+            )
+        snap = reg.snapshot()
+    if telemetry_on:
+        result.telemetry = snap
+    return result, snap
 
 
 # ----------------------------------------------------------------------
@@ -427,13 +469,22 @@ def run_experiment(
             nothing to shard).
 
     Returns:
-        The cell's :class:`~repro.experiments.result.CellResult`.
+        The cell's :class:`~repro.experiments.result.CellResult`; when
+        telemetry is enabled its snapshot is attached as
+        ``result.telemetry`` and merged into the ambient registry.
     """
     if execution is None:
         execution = ExecutionConfig()
-    return _evaluate_cell(
-        GridCell(experiment=spec), execution, inner_jobs=execution.jobs
+    telemetry_on = execution.telemetry or _obs.telemetry_enabled()
+    result, snap = _cell_with_scope(
+        GridCell(experiment=spec),
+        execution,
+        inner_jobs=execution.jobs,
+        require_stateless=False,
+        telemetry_on=telemetry_on,
     )
+    _obs.registry().merge_snapshot(snap)
+    return result
 
 
 def run_sweep(
@@ -455,6 +506,16 @@ def run_sweep(
     fan-out must not nest inside cell workers) cells run sequentially
     in-process.
 
+    Telemetry (``execution.telemetry`` or a globally enabled registry):
+    every cell runs under its own scoped registry — inside the forked
+    worker when sharded, in-process otherwise — and the per-cell
+    snapshots ship back through the result pipe and merge in grid order,
+    so a ``jobs=k`` sweep's merged snapshot equals the ``jobs=1`` run's
+    exactly.  The merged snapshot is stored as ``result.telemetry``
+    (per-cell snapshots as ``cell.telemetry``) and folded into the
+    ambient registry.  Telemetry never touches deterministic record
+    fields: rows are bitwise-identical with telemetry on or off.
+
     Args:
         plan: The sweep plan.
         execution: Overrides ``plan.execution`` when given.
@@ -467,31 +528,64 @@ def run_sweep(
     """
     if execution is None:
         execution = plan.execution
+    telemetry_on = execution.telemetry or _obs.telemetry_enabled()
     cells = plan.cells()
     sharded = (
         execution.resolved_shard() == "cell"
         and len(cells) > 1
         and resolve_jobs(execution.jobs) > 1
     )
-    if sharded:
-        on_result = (
-            None if on_cell is None else (lambda index, result: on_cell(result))
-        )
-        results = fork_map(
-            # require_stateless: the jobs-invariance contract below only
-            # holds when no policy state can leak across cells.
-            lambda cell: _evaluate_cell(
-                cell, execution, inner_jobs=1, require_stateless=True
-            ),
-            cells,
-            jobs=execution.jobs,
-            on_result=on_result,
-        )
-    else:
-        results = []
-        for cell in cells:
-            result = _evaluate_cell(cell, execution, inner_jobs=execution.jobs)
-            if on_cell is not None:
-                on_cell(result)
-            results.append(result)
-    return SweepResult(results)
+    logger.info(
+        "sweep: %d cells, engine=%s, jobs=%d, sharded=%s, telemetry=%s",
+        len(cells), execution.engine, resolve_jobs(execution.jobs),
+        sharded, telemetry_on,
+    )
+    scope = (
+        _obs.scoped_registry(enabled=True)
+        if telemetry_on
+        else nullcontext(_obs.registry())
+    )
+    with scope as sweep_reg:
+        with sweep_reg.span(
+            "sweep", cells=len(cells), engine=execution.engine,
+            jobs=execution.jobs, sharded=sharded,
+        ):
+            if sharded:
+                on_result = (
+                    None
+                    if on_cell is None
+                    else (lambda index, pair: on_cell(pair[0]))
+                )
+                pairs = fork_map(
+                    # require_stateless: the jobs-invariance contract
+                    # below only holds when no policy state can leak
+                    # across cells.
+                    lambda cell: _cell_with_scope(
+                        cell, execution, inner_jobs=1,
+                        require_stateless=True, telemetry_on=telemetry_on,
+                    ),
+                    cells,
+                    jobs=execution.jobs,
+                    on_result=on_result,
+                )
+            else:
+                pairs = []
+                for cell in cells:
+                    pair = _cell_with_scope(
+                        cell, execution, inner_jobs=execution.jobs,
+                        require_stateless=False, telemetry_on=telemetry_on,
+                    )
+                    if on_cell is not None:
+                        on_cell(pair[0])
+                    pairs.append(pair)
+            # Grid-order merge inside the open sweep span: cell spans
+            # attach under it, and jobs=k accumulation order matches
+            # jobs=1 regardless of worker scheduling.
+            for _, snap in pairs:
+                sweep_reg.merge_snapshot(snap)
+        sweep_snapshot = sweep_reg.snapshot() if telemetry_on else None
+    if telemetry_on:
+        _obs.registry().merge_snapshot(sweep_snapshot)
+    return SweepResult(
+        [result for result, _ in pairs], telemetry=sweep_snapshot
+    )

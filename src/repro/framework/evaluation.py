@@ -19,6 +19,7 @@ values — only wall-clock-derived entries vary.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -28,11 +29,64 @@ from repro.framework.accounting import RunStats
 from repro.framework.intermittent import IntermittentController, run_controller_only
 from repro.framework.lockstep import lockstep_controller_only, run_lockstep
 from repro.framework.monitor import SafetyMonitor
+from repro.framework.profiling import StageProfiler
+from repro.observability import metrics as _obs
 from repro.skipping.base import SkippingPolicy
 from repro.systems.lti import DiscreteLTISystem
 from repro.utils.parallel import fork_map
 
 __all__ = ["ENGINES", "default_engine", "paired_evaluation"]
+
+
+def _solver_probe() -> tuple:
+    """Snapshot of the ambient registry's solver-effort counters (they
+    are always on and never reset by ``controller.reset()``, so
+    before/after deltas attribute effort per approach)."""
+    reg = _obs.registry()
+    return (
+        reg.total("rmpc_solves_total"),
+        reg.total("rmpc_solves_total", path="scalar"),
+        reg.total("rmpc_solves_total", path="stacked"),
+        reg.total("rmpc_solves_total", path="stacked", backend="highs"),
+        reg.total("rmpc_stacked_fallbacks_total"),
+    )
+
+
+def _effort_dict(delta: tuple) -> dict:
+    """A probe delta as the solver-effort mapping the result layer
+    surfaces per approach (see ``ApproachResult.solver``)."""
+    total, scalar, stacked, highs, fallbacks = delta
+    return {
+        "solve_count": total,
+        "scalar_solves": scalar,
+        "stacked_solves": stacked,
+        "stacked_fallbacks": fallbacks,
+        "lp_backend": (
+            ("highs" if highs > 0 else "scipy") if stacked > 0 else None
+        ),
+    }
+
+
+def _probe_delta(before: tuple, after: tuple) -> tuple:
+    return tuple(b - a for a, b in zip(before, after))
+
+
+def _fold_stages(reg, prof: StageProfiler, approach: str) -> None:
+    """Fold a per-approach StageProfiler into the registry: seconds as
+    wall-clock counters (excluded from deterministic snapshots), call
+    counts as plain counters, and one leaf span per stage."""
+    for stage, row in prof.report().items():
+        reg.inc(
+            "lockstep_stage_seconds", row["seconds"],
+            stage=stage, approach=approach,
+        )
+        reg.inc(
+            "lockstep_stage_calls", row["calls"],
+            stage=stage, approach=approach,
+        )
+        reg.trace.add_span(
+            f"stage:{stage}", duration=row["seconds"], calls=row["calls"]
+        )
 
 #: The execution engines every evaluation entry point accepts.
 ENGINES = ("serial", "parallel", "lockstep")
@@ -73,6 +127,7 @@ def paired_evaluation(
     collect_timing: bool = True,
     kernel: str = "auto",
     profiler=None,
+    solver_effort: Optional[dict] = None,
 ) -> Dict[str, List[tuple]]:
     """Run every approach over every case; collect per-case metric tuples.
 
@@ -111,7 +166,19 @@ def paired_evaluation(
             (``auto|numba|numpy``; see :mod:`repro.framework.kernel`).
         profiler: Lockstep only — optional
             :class:`~repro.framework.profiling.StageProfiler`; stage
-            costs accumulate across all approaches evaluated.
+            costs accumulate across all approaches evaluated.  When
+            telemetry is enabled and no profiler is passed, the lockstep
+            engine creates one per approach and folds its stages into
+            the registry (``lockstep_stage_seconds`` + ``stage:*``
+            spans).
+        solver_effort: Optional out-parameter: pass a dict and it is
+            filled with approach name → solver-effort mapping
+            (``solve_count``, ``scalar_solves``, ``stacked_solves``,
+            ``stacked_fallbacks``, ``lp_backend``) measured as
+            before/after deltas of the always-on telemetry counters —
+            or ``None`` per approach when the controller has no
+            ``solve_count`` (closed-form κ evaluations are not LP
+            solves).
 
     Returns:
         Approach name → list of ``N`` metric tuples in case order.
@@ -133,7 +200,13 @@ def paired_evaluation(
             f"{num_cases} initial states but {len(realisations)} realisations"
         )
 
+    # Solver effort is read from the always-on telemetry counters, but
+    # only means something for controllers that actually solve LPs.
+    instrumented = getattr(controller, "solve_count", None) is not None
+    want_effort = solver_effort is not None
+
     if engine == "lockstep":
+        reg = _obs.active()
         collected: Dict[str, List[tuple]] = {}
         for name, policy in approaches.items():
             if policy is not None and not getattr(policy, "stateless", False):
@@ -143,42 +216,67 @@ def paired_evaluation(
                     "only serial-equivalent for stateless policies "
                     "(for DRL, evaluate with epsilon=0)"
                 )
-            if policy is None:
-                stats_list = lockstep_controller_only(
-                    system,
-                    controller,
-                    initial_states,
-                    realisations,
-                    exact_solves=exact_solves,
-                    lp_backend=lp_backend,
-                    collect_timing=collect_timing,
-                    kernel=kernel,
-                    profiler=profiler,
+            approach_profiler = profiler
+            own_profiler = None
+            if reg is not None and profiler is None:
+                own_profiler = StageProfiler()
+                approach_profiler = own_profiler
+            span_cm = (
+                reg.span(
+                    "episode-batch",
+                    approach=name, engine="lockstep", cases=num_cases,
                 )
-            else:
-                stats_list = run_lockstep(
-                    system,
-                    controller,
-                    [monitor_factory() for _ in range(num_cases)],
-                    [policy] * num_cases,
-                    initial_states,
-                    realisations,
-                    skip_input=skip_input,
-                    memory_length=memory_length,
-                    exact_solves=exact_solves,
-                    lp_backend=lp_backend,
-                    collect_timing=collect_timing,
-                    kernel=kernel,
-                    profiler=profiler,
+                if reg is not None
+                else nullcontext()
+            )
+            before = _solver_probe() if (want_effort and instrumented) else None
+            with span_cm:
+                if policy is None:
+                    stats_list = lockstep_controller_only(
+                        system,
+                        controller,
+                        initial_states,
+                        realisations,
+                        exact_solves=exact_solves,
+                        lp_backend=lp_backend,
+                        collect_timing=collect_timing,
+                        kernel=kernel,
+                        profiler=approach_profiler,
+                    )
+                else:
+                    stats_list = run_lockstep(
+                        system,
+                        controller,
+                        [monitor_factory() for _ in range(num_cases)],
+                        [policy] * num_cases,
+                        initial_states,
+                        realisations,
+                        skip_input=skip_input,
+                        memory_length=memory_length,
+                        exact_solves=exact_solves,
+                        lp_backend=lp_backend,
+                        collect_timing=collect_timing,
+                        kernel=kernel,
+                        profiler=approach_profiler,
+                    )
+                if own_profiler is not None:
+                    _fold_stages(reg, own_profiler, name)
+            if want_effort:
+                solver_effort[name] = (
+                    _effort_dict(_probe_delta(before, _solver_probe()))
+                    if instrumented
+                    else None
                 )
             collected[name] = [metrics_of(stats) for stats in stats_list]
         return collected
 
-    def evaluate_case(i: int) -> dict:
+    def evaluate_case(i: int) -> tuple:
         x0 = initial_states[i]
         disturbances = realisations[i]
         metrics = {}
+        efforts = {}
         for name, policy in approaches.items():
+            before = _solver_probe() if instrumented else None
             if policy is None:
                 stats = run_controller_only(system, controller, x0, disturbances)
             else:
@@ -192,13 +290,49 @@ def paired_evaluation(
                 )
                 stats = runner.run(x0, disturbances)
             metrics[name] = metrics_of(stats)
-        return metrics
+            if instrumented:
+                efforts[name] = _probe_delta(before, _solver_probe())
+        return metrics, efforts
 
-    per_case = fork_map(
-        evaluate_case,
-        range(num_cases),
-        jobs=1 if engine == "serial" else jobs,
+    def evaluate_case_scoped(i: int) -> tuple:
+        # Each case runs under its own registry so forked workers can
+        # ship their telemetry back through the result pipe; the serial
+        # fallback takes the identical path, keeping jobs=k snapshots
+        # equal to jobs=1 by construction (merge happens in case order).
+        with _obs.scoped_registry() as case_reg:
+            out = evaluate_case(i)
+            return out, case_reg.snapshot()
+
+    active_reg = _obs.active()
+    span_cm = (
+        active_reg.span(
+            "episode-batch",
+            engine=engine, cases=num_cases, approaches=len(approaches),
+        )
+        if active_reg is not None
+        else nullcontext()
     )
+    with span_cm:
+        pairs = fork_map(
+            evaluate_case_scoped,
+            range(num_cases),
+            jobs=1 if engine == "serial" else jobs,
+        )
+        ambient = _obs.registry()
+        for _, snap in pairs:
+            ambient.merge_snapshot(snap)
+    per_case = [metrics for (metrics, _), _ in pairs]
+    if want_effort:
+        for name in approaches:
+            if not instrumented:
+                solver_effort[name] = None
+                continue
+            total = (0, 0, 0, 0, 0)
+            for (_, efforts), _ in pairs:
+                total = tuple(
+                    a + b for a, b in zip(total, efforts[name])
+                )
+            solver_effort[name] = _effort_dict(total)
     return {
         name: [metrics[name] for metrics in per_case] for name in approaches
     }

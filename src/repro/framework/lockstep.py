@@ -108,6 +108,7 @@ from repro.framework.kernel import (
 from repro.framework.monitor import SafetyMonitor, SafetyViolationError
 from repro.framework.profiling import StageProfiler, active_profiler
 from repro.geometry import MembershipTester
+from repro.observability.metrics import registry as _telemetry
 from repro.skipping.base import RUN, DecisionContext, SkippingPolicy
 from repro.systems.lti import DiscreteLTISystem
 from repro.utils.validation import as_vector
@@ -200,6 +201,46 @@ def _context_free_run_flags(policy, t_max: int, count: int) -> np.ndarray:
     for t in range(t_max):
         flags[t] = np.asarray(policy.decide_batch_at(t, count)) == RUN
     return flags
+
+
+def _dispatch_reason_tag(request: str, outcome: str, reason) -> str:
+    """Compact label for why kernel dispatch landed where it did (full
+    ineligibility prose stays in the KernelError / docs)."""
+    if outcome == "numba":
+        return "eligible"
+    if reason is None:
+        return "numpy-requested" if request == "numpy" else "numba-unavailable"
+    if "affine" in reason:
+        return "no-affine-form"
+    if "context-free" in reason:
+        return "policy-not-context-free"
+    if "strict" in reason:
+        return "mixed-strict"
+    if "timing" in reason:
+        return "collect-timing"
+    if "MAX_KERNEL_DIM" in reason:
+        return "dimension"
+    return "other"
+
+
+def _record_dispatch(request: str, outcome: str, reason, mode: str) -> None:
+    """Count one kernel-dispatch decision (auto resolution outcome plus
+    the ineligibility reason when the numpy path was selected)."""
+    _telemetry().inc(
+        "lockstep_kernel_dispatch_total",
+        request=request,
+        outcome=outcome,
+        reason=_dispatch_reason_tag(request, outcome, reason),
+        mode=mode,
+    )
+
+
+def _record_batch(mode: str, count: int, horizons) -> None:
+    """Per-run episode/step counters (one call per lockstep entry)."""
+    reg = _telemetry()
+    reg.inc("lockstep_runs_total", mode=mode)
+    reg.inc("lockstep_episodes_total", count, mode=mode)
+    reg.inc("lockstep_steps_total", int(horizons.sum()), mode=mode)
 
 
 def _kernel_stats(
@@ -342,6 +383,7 @@ def run_lockstep(
     for policy in policies:
         policy.reset()
     controller.reset()
+    _record_batch("monitored", count, horizons)
 
     resolved = resolve_kernel(kernel)
     if resolved == "numba":
@@ -357,6 +399,7 @@ def run_lockstep(
             collect_timing=collect_timing,
         )
         if reason is None:
+            _record_dispatch(kernel, "numba", None, "monitored")
             prof = active_profiler(profiler)
             ptick = prof.tick() if prof is not None else 0.0
             run_flags = _context_free_run_flags(policies[0], t_max, count)
@@ -375,6 +418,9 @@ def run_lockstep(
                     strict=reference.strict,
                 )
             )
+            total_violations = int(violations.sum())
+            if total_violations:
+                _telemetry().inc("safety_violations_total", total_violations)
             for i in np.flatnonzero(violations):
                 monitors[i].violations += int(violations[i])
             if prof is not None:
@@ -387,6 +433,9 @@ def run_lockstep(
             return _kernel_stats(states, inputs, decisions, forced, W, horizons)
         if kernel == "numba":
             raise KernelError(f"kernel='numba' requested but {reason}")
+        _record_dispatch(kernel, "numpy", reason, "monitored")
+    else:
+        _record_dispatch(kernel, "numpy", None, "monitored")
 
     compute_batch = _batch_compute_fn(controller, exact_solves, lp_backend)
     membership = MembershipTester((sset, iset), tol)
@@ -422,6 +471,9 @@ def run_lockstep(
         in_strengthened, in_invariant = membership.contains_each(X[idx])
         unsafe = ~in_strengthened & ~in_invariant
         if np.any(unsafe):
+            _telemetry().inc(
+                "safety_violations_total", int(np.count_nonzero(unsafe))
+            )
             for gi in idx[unsafe]:
                 monitors[gi].violations += 1
                 if monitors[gi].strict:
@@ -531,6 +583,7 @@ def lockstep_controller_only(
     W, horizons = _padded_realisations(realisations, n)
     t_max = W.shape[1]
     controller.reset()
+    _record_batch("controller_only", count, horizons)
 
     resolved = resolve_kernel(kernel)
     if resolved == "numba":
@@ -538,6 +591,7 @@ def lockstep_controller_only(
             controller, n, m, collect_timing=collect_timing
         )
         if reason is None:
+            _record_dispatch(kernel, "numba", None, "controller_only")
             prof = active_profiler(profiler)
             ptick = prof.tick() if prof is not None else 0.0
             run_flags = np.ones((t_max, count), dtype=np.int64)
@@ -558,6 +612,9 @@ def lockstep_controller_only(
             return _kernel_stats(states, inputs, decisions, forced, W, horizons)
         if kernel == "numba":
             raise KernelError(f"kernel='numba' requested but {reason}")
+        _record_dispatch(kernel, "numpy", reason, "controller_only")
+    else:
+        _record_dispatch(kernel, "numpy", None, "controller_only")
 
     compute_batch = _batch_compute_fn(controller, exact_solves, lp_backend)
     prof = active_profiler(profiler)

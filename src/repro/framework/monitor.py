@@ -20,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.geometry import HPolytope
+from repro.observability.metrics import registry as _telemetry
 
 __all__ = ["SafetyMonitor", "StateClass", "SafetyViolationError"]
 
@@ -72,7 +73,9 @@ class SafetyMonitor:
         # strong references, which also pins the ids it is keyed on.
         key = (id(self.strengthened_set), id(self.invariant_set), id(self.safe_set))
         if key in _VALIDATED_NESTINGS:
+            _telemetry().inc("monitor_nesting_proofs_total", result="cached")
             return
+        _telemetry().inc("monitor_nesting_proofs_total", result="proved")
         if not self.invariant_set.contains_polytope(self.strengthened_set):
             raise ValueError("X' must be a subset of XI (Definition 3)")
         if not self.safe_set.contains_polytope(self.invariant_set, tol=1e-6):

@@ -29,8 +29,7 @@ Typical use::
 
     profiler = StageProfiler()
     run_lockstep(..., profiler=profiler)
-    for stage, row in profiler.report().items():
-        print(stage, row["seconds"], row["share"])
+    report = profiler.report()   # stage -> {seconds, calls, share}
 
 ``benchmarks/bench_lockstep.py --profile`` wires exactly this into the
 committed ``BENCH_lockstep.json`` perf artifact.

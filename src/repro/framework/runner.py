@@ -52,6 +52,7 @@ from repro.framework.accounting import RunStats
 from repro.framework.intermittent import IntermittentController
 from repro.framework.lockstep import run_lockstep
 from repro.framework.monitor import SafetyMonitor
+from repro.observability import metrics as _obs
 from repro.skipping.base import SkippingPolicy
 from repro.systems.lti import DiscreteLTISystem
 from repro.utils.parallel import fork_map
@@ -391,6 +392,9 @@ class BatchRunner:
         them interleaved in episode order; lockstep materialises all
         realisations first (episode order), then all policies.
         """
+        reg = _obs.registry()
+        reg.inc("batch_runs_total", engine=self.engine)
+        reg.inc("batch_episodes_total", len(states), engine=self.engine)
         result = BatchResult()
         if self.engine == "lockstep":
             episodes = range(len(states))
@@ -570,15 +574,29 @@ class ParallelBatchRunner(BatchRunner):
         self, states: np.ndarray, realisation_for: Callable, policy_for: Callable
     ) -> BatchResult:
         """Fan episodes out, then merge chunk results in episode order."""
-        records = fork_map(
-            lambda episode: self._run_one(
-                episode, states[episode], realisation_for(episode), policy_for(episode)
-            ),
-            range(len(states)),
-            jobs=self.jobs,
-        )
+        reg = _obs.registry()
+        reg.inc("batch_runs_total", engine="parallel")
+        reg.inc("batch_episodes_total", len(states), engine="parallel")
+
+        def run_one_scoped(episode: int) -> tuple:
+            # Per-episode registry scope: worker-side telemetry ships
+            # back through the result pipe instead of dying with the
+            # fork, and episode-order merging keeps jobs=k snapshots
+            # equal to jobs=1.
+            with _obs.scoped_registry() as episode_reg:
+                record = self._run_one(
+                    episode,
+                    states[episode],
+                    realisation_for(episode),
+                    policy_for(episode),
+                )
+                return record, episode_reg.snapshot()
+
+        pairs = fork_map(run_one_scoped, range(len(states)), jobs=self.jobs)
+        for _, snap in pairs:  # fork_map preserves input (episode) order
+            reg.merge_snapshot(snap)
         result = BatchResult()
-        result.extend(records)  # fork_map preserves input (episode) order
+        result.extend(record for record, _ in pairs)
         return result
 
     def run(

@@ -20,6 +20,8 @@ the ACC case study has always offered.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict
 
@@ -34,8 +36,11 @@ from repro.framework.monitor import SafetyMonitor
 from repro.geometry import HPolytope
 from repro.invariance.rci import maximal_rpi
 from repro.invariance.reach import strengthened_safe_set
+from repro.observability.metrics import registry as _telemetry
 from repro.scenarios.spec import ScenarioSpec, ScenarioSynthesisError
 from repro.systems.lti import DiscreteLTISystem
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["CaseStudy", "build_case_study", "clear_case_study_cache"]
 
@@ -220,6 +225,9 @@ def build_case_study(spec: ScenarioSpec, use_cache: bool = True) -> CaseStudy:
     """
     if use_cache and spec.cache_key in _CACHE:
         cached = _CACHE[spec.cache_key]
+        _telemetry().inc(
+            "scenario_builds_total", scenario=spec.name, source="cache"
+        )
         if cached.spec is spec or cached.spec.name == spec.name:
             return cached
         # Same numerics under a different label: share the synthesis but
@@ -231,6 +239,7 @@ def build_case_study(spec: ScenarioSpec, use_cache: bool = True) -> CaseStudy:
             invariant_set=cached.invariant_set,
             strengthened_set=cached.strengthened_set,
         )
+    tick = time.perf_counter()
     A, B = spec.discrete_matrices()
     try:
         system = DiscreteLTISystem(
@@ -263,6 +272,13 @@ def build_case_study(spec: ScenarioSpec, use_cache: bool = True) -> CaseStudy:
         controller=controller,
         invariant_set=invariant,
         strengthened_set=strengthened,
+    )
+    _telemetry().inc(
+        "scenario_builds_total", scenario=spec.name, source="synthesised"
+    )
+    logger.info(
+        "scenario %r synthesised in %.2fs (%s, n=%d)",
+        spec.name, time.perf_counter() - tick, spec.controller, system.n,
     )
     if use_cache:
         _CACHE[spec.cache_key] = case

@@ -16,6 +16,8 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import linprog
 
+from ..observability.metrics import registry as _telemetry
+
 __all__ = [
     "LPError",
     "LPSolution",
@@ -47,7 +49,11 @@ class LPError(RuntimeError):
 #: its models), so their stacks live and die with the owner.
 _STACK_CACHE: dict = {}
 _STACK_CACHE_MAX = 64
-_STACK_CACHE_STATS = {"hits": 0, "misses": 0}
+
+#: Registry counter behind the legacy hit/miss accessors: labelled by
+#: ``cache`` (``owned`` BlockStack vs the ``anonymous`` module LRU) and
+#: ``event`` (``hit`` / ``miss``).
+STACK_CACHE_METRIC = "lp_stack_cache_events_total"
 
 
 def stack_cache_stats() -> dict:
@@ -55,8 +61,19 @@ def stack_cache_stats() -> dict:
     anonymous LRU cache and every owned :class:`BlockStack` update the
     same counters.  Counters are cumulative; call
     :func:`reset_stack_cache_stats` first for order-independent
-    assertions in tests and benchmarks."""
-    return dict(_STACK_CACHE_STATS)
+    assertions in tests and benchmarks.
+
+    .. deprecated:: PR 8
+        Thin shim over the unified telemetry registry — read
+        ``lp_stack_cache_events_total`` from
+        :func:`repro.observability.registry` for the labelled
+        (owned/anonymous) breakdown.
+    """
+    reg = _telemetry()
+    return {
+        "hits": reg.total(STACK_CACHE_METRIC, event="hit"),
+        "misses": reg.total(STACK_CACHE_METRIC, event="miss"),
+    }
 
 
 def reset_stack_cache_stats() -> None:
@@ -64,9 +81,12 @@ def reset_stack_cache_stats() -> None:
 
     Tests and benchmarks asserting on hit rates call this first so the
     numbers do not depend on what ran earlier in the process.
+
+    .. deprecated:: PR 8
+        Thin shim over the unified telemetry registry — equivalent to
+        ``registry().reset("lp_stack_cache_events_total")``.
     """
-    _STACK_CACHE_STATS["hits"] = 0
-    _STACK_CACHE_STATS["misses"] = 0
+    _telemetry().reset(STACK_CACHE_METRIC)
 
 
 def _as_csr_block(matrix):
@@ -110,10 +130,10 @@ class BlockStack:
         """``diag(a_ub, …)`` / ``diag(a_eq, …)`` CSR for ``k`` blocks."""
         cached = self._stacks.pop(k, None)
         if cached is not None:
-            _STACK_CACHE_STATS["hits"] += 1
+            _telemetry().inc(STACK_CACHE_METRIC, cache="owned", event="hit")
             self._stacks[k] = cached  # re-insert: LRU recency refresh
             return cached
-        _STACK_CACHE_STATS["misses"] += 1
+        _telemetry().inc(STACK_CACHE_METRIC, cache="owned", event="miss")
         stacked_ub = sp.block_diag([_as_csr_block(self._a_ub)] * k, format="csr")
         stacked_eq = None
         if self._a_eq is not None:
@@ -138,10 +158,10 @@ def _stacked_blocks(a_ub, a_eq, k: int):
     key = (id(a_ub), None if a_eq is None else id(a_eq), k)
     cached = _STACK_CACHE.pop(key, None)
     if cached is not None:
-        _STACK_CACHE_STATS["hits"] += 1
+        _telemetry().inc(STACK_CACHE_METRIC, cache="anonymous", event="hit")
         _STACK_CACHE[key] = cached  # re-insert: LRU recency refresh
         return cached[0], cached[1]
-    _STACK_CACHE_STATS["misses"] += 1
+    _telemetry().inc(STACK_CACHE_METRIC, cache="anonymous", event="miss")
     block_ub = _as_csr_block(a_ub)
     stacked_ub = sp.block_diag([block_ub] * k, format="csr")
     stacked_eq = None

@@ -38,12 +38,16 @@ fine — the solver is built lazily, so each worker builds its own.
 
 from __future__ import annotations
 
+import logging
 from typing import List, Optional
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.observability.metrics import registry as _telemetry
 from repro.utils.lp import LPError, LPSolution
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "BACKENDS",
@@ -107,6 +111,8 @@ def resolve_backend(backend: str = "auto") -> str:
         return "scipy"
     if highs_available():
         return "highs"
+    if backend == "auto":
+        logger.debug("lp backend 'auto': highspy unavailable, using scipy")
     if backend == "highs":
         raise LPBackendError(
             "lp backend 'highs' requested but highspy is not installed "
@@ -203,6 +209,12 @@ class _ChunkModel:
         )
         self._highs.run()
         status = self._highs.getModelStatus()
+        # First solve of a freshly-passed model factorises from scratch;
+        # every later one warm-starts from the incumbent basis.
+        _telemetry().inc(
+            "lp_persistent_solves_total",
+            start="warm" if self.solves else "cold",
+        )
         self.solves += 1
         if status != self._highspy.HighsModelStatus.kOptimal:
             raise LPError(
@@ -297,6 +309,11 @@ class PersistentStackSolver:
         if model is None:
             model = _ChunkModel(self, blocks)
             self.model_builds += 1
+            _telemetry().inc("lp_persistent_model_builds_total")
+            logger.debug(
+                "persistent HiGHS chunk model built (%d blocks, %d built)",
+                blocks, self.model_builds,
+            )
             while len(self._models) >= self.max_models:
                 self._models.pop(next(iter(self._models))).release()
         self._models[blocks] = model  # re-insert: LRU recency refresh
