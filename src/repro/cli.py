@@ -252,6 +252,9 @@ def _cmd_sweep(args) -> int:
         engine=args.engine, jobs=args.jobs, exact_solves=args.exact_solves,
         lp_backend=args.lp_backend, collect_timing=args.collect_timing,
         kernel=args.kernel, telemetry=telemetry_on,
+        on_error=args.on_error, cell_retries=args.cell_retries,
+        cell_timeout=args.cell_timeout,
+        worker_retries=args.worker_retries,
     )
     cells = len(plan.cells())
     _echo(
@@ -260,7 +263,7 @@ def _cmd_sweep(args) -> int:
         + f" = {cells} cell(s), {args.cases} cases x {args.horizon} steps, "
         f"engine={args.engine}, jobs={args.jobs}, seed={args.seed}\n"
     )
-    result = run_sweep(plan, execution)
+    result = run_sweep(plan, execution, checkpoint=args.checkpoint)
     _echo(
         f"{'cell':<26} {'approach':<10} {'saving':>8} {'skip%':>6} "
         f"{'forced':>7} {'max viol':>9} {'safe':>5}"
@@ -285,11 +288,26 @@ def _cmd_sweep(args) -> int:
         _echo(f"\nsweep table written to {args.out}")
     if telemetry_on:
         _emit_snapshot(result.telemetry, args.telemetry_out)
+    status = 0
+    if result.failures:
+        _echo(
+            f"\nERROR: {len(result.failures)}/{cells} cell(s) failed:",
+            err=True,
+        )
+        for failure in result.failures:
+            _echo(
+                f"  {failure.key}: {failure.error_type} "
+                f"(stage={failure.stage}, attempts={failure.attempts}): "
+                f"{failure.message}",
+                err=True,
+            )
+        status = 1
     if not result.always_safe:
         _echo("\nERROR: a trajectory left the safe set under the monitor")
         return 1
-    _echo("\nall scenarios safe under the certified monitor")
-    return 0
+    if status == 0:
+        _echo("\nall scenarios safe under the certified monitor")
+    return status
 
 
 def _cmd_batch(args) -> int:
@@ -600,6 +618,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_lp_backend_flag(p_swp)
     _add_kernel_flags(p_swp)
+    p_swp.add_argument(
+        "--on-error", choices=("fail", "record", "retry"), default="fail",
+        dest="on_error",
+        help="cell-failure policy: abort the sweep (fail, default), "
+             "record a structured CellFailure and keep going (record), "
+             "or retry the cell first — with a scipy LP-backend "
+             "degradation for solver errors (retry)",
+    )
+    p_swp.add_argument(
+        "--cell-retries", type=int, default=1, dest="cell_retries",
+        metavar="N",
+        help="extra attempts per failing cell under --on-error retry",
+    )
+    p_swp.add_argument(
+        "--cell-timeout", type=float, default=None, dest="cell_timeout",
+        metavar="SECONDS",
+        help="per-cell wall-clock budget under sharded execution "
+             "(jobs > 1): a hung worker is killed and its cells respawn",
+    )
+    p_swp.add_argument(
+        "--worker-retries", type=int, default=2, dest="worker_retries",
+        metavar="N",
+        help="worker deaths/timeouts tolerated per cell before giving "
+             "it up",
+    )
+    p_swp.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="spill each completed cell's JSON into DIR and, on rerun, "
+             "load matching cells from there instead of re-solving",
+    )
     p_swp.add_argument(
         "--out", default=None,
         help="write the sweep table to this path (.csv for the flat "

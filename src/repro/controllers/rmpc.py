@@ -462,7 +462,15 @@ class RobustMPC(Controller):
             # attempt deliberately counts nothing.
             self._stacked_fallbacks += 1
             _telemetry().inc("rmpc_stacked_fallbacks_total")
-            return [self.solve(x) for x in X]
+            out = []
+            for i, x in enumerate(X):
+                try:
+                    out.append(self.solve(x))
+                except RMPCInfeasibleError as exc:
+                    raise RMPCInfeasibleError(
+                        f"batch row {i}: {exc}"
+                    ) from None
+            return out
         self._solve_count += k
         if stacked_backend is None:
             # k == 1 took the scalar solver inside solve_lp_batch.

@@ -20,10 +20,12 @@ The legacy entry points (``repro.acc.experiments.evaluate_approaches``,
 are thin clients of this package.
 """
 
+from repro.experiments.checkpoint import SweepCheckpoint
 from repro.experiments.execution import ExecutionConfig
 from repro.experiments.plan import GridCell, SweepPlan
 from repro.experiments.result import (
     ApproachResult,
+    CellFailure,
     CellResult,
     ExperimentResult,
     SweepResult,
@@ -38,7 +40,9 @@ __all__ = [
     "ExecutionConfig",
     "GridCell",
     "SweepPlan",
+    "SweepCheckpoint",
     "ApproachResult",
+    "CellFailure",
     "CellResult",
     "ExperimentResult",
     "SweepResult",

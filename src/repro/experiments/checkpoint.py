@@ -1,0 +1,108 @@
+"""Per-cell checkpoint spill/restore for resumable sweeps.
+
+``run_sweep(checkpoint=dir)`` writes each completed
+:class:`~repro.experiments.result.CellResult` to its own JSON file the
+moment it streams out of the execution layer, and on restart loads the
+cells already on disk instead of re-solving them.  This is the stepping
+stone to the ROADMAP's content-addressed result store: the file name is
+derived from the cell's stable :class:`~repro.experiments.plan.GridCell`
+key, and a stored cell is only reused when its key *and* its full
+reproducibility config (cases, horizon, seed, engine, ...) match what
+the resuming sweep would compute — a stale or foreign file is silently
+re-solved, never trusted.
+
+Writes are atomic (``os.replace`` of a same-directory temp file), so an
+interrupt mid-write leaves either the previous file or nothing — a
+half-written cell can never poison a resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+from typing import Optional
+
+from repro.experiments.result import CellResult, cell_from_dict, cell_to_dict
+
+__all__ = ["SweepCheckpoint"]
+
+_SUFFIX = ".cell.json"
+
+
+def _slug(key: str) -> str:
+    """A filesystem-safe, collision-free file stem for a cell key.
+
+    The readable prefix keeps directories human-browsable; the hash
+    suffix guarantees distinct keys never collide after sanitisation.
+    """
+    safe = re.sub(r"[^A-Za-z0-9._=@-]+", "_", key)[:80]
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:12]
+    return f"{safe}-{digest}"
+
+
+class SweepCheckpoint:
+    """A directory of per-cell JSON spills keyed by stable cell keys.
+
+    Args:
+        directory: Checkpoint directory; created if missing.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        """The spill path of the cell with stable key ``key``."""
+        return os.path.join(self.directory, _slug(key) + _SUFFIX)
+
+    def store(self, result: CellResult) -> str:
+        """Atomically write ``result``'s full-fidelity JSON; returns the
+        final path.  Safe to call from the ``on_result`` stream — each
+        cell is its own file, so partial sweeps checkpoint incrementally.
+        """
+        path = self.path_for(result.key)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=_SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(cell_to_dict(result), handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load(self, key: str, expected_config: Optional[dict] = None
+             ) -> Optional[CellResult]:
+        """The stored cell for ``key``, or ``None`` when it must be
+        (re-)solved.
+
+        ``None`` is returned — never an exception — for a missing file,
+        unparseable JSON, a key mismatch (hash-prefix collision or a
+        renamed cell), or, when ``expected_config`` is given, any
+        difference in the reproducibility config: a checkpoint written
+        under different cases/horizon/seed/engine settings must not leak
+        into this sweep's results.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            cell = cell_from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if cell.key != key:
+            return None
+        if expected_config is not None and cell.config != expected_config:
+            return None
+        return cell
+
+    def __repr__(self) -> str:
+        return f"SweepCheckpoint({self.directory!r})"

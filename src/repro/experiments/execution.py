@@ -24,10 +24,13 @@ from repro.framework.evaluation import ENGINES
 from repro.framework.kernel import KERNELS
 from repro.utils.lp_backends import BACKENDS
 
-__all__ = ["ExecutionConfig", "SHARD_STRATEGIES"]
+__all__ = ["ExecutionConfig", "ON_ERROR_MODES", "SHARD_STRATEGIES"]
 
 #: Recognised shard strategies (see :attr:`ExecutionConfig.shard`).
 SHARD_STRATEGIES = ("auto", "cell", "none")
+
+#: Recognised cell-failure policies (see :attr:`ExecutionConfig.on_error`).
+ON_ERROR_MODES = ("fail", "record", "retry")
 
 
 @dataclass(frozen=True)
@@ -79,6 +82,27 @@ class ExecutionConfig:
             is bitwise-identical with telemetry on or off.  ``False``
             also defers to a globally enabled registry
             (:func:`repro.observability.enable_telemetry`).
+        on_error: Cell-failure policy for :func:`run_sweep`.
+            ``"fail"`` (default) — a raising cell aborts the sweep, as
+            before.  ``"record"`` — the cell becomes a structured
+            :class:`~repro.experiments.result.CellFailure` on
+            ``SweepResult.failures`` and the grid keeps going.
+            ``"retry"`` — like ``"record"`` but the cell is first
+            re-attempted up to ``cell_retries`` times (with a one-shot
+            scipy-backend degradation for solver errors) before a
+            failure is recorded.  Evaluated cells stay bitwise-identical
+            under every mode; only which cells *exist* can differ.
+        cell_retries: ``on_error="retry"`` only — extra attempts per
+            failing cell before its failure is recorded.
+        cell_timeout: Optional per-cell wall-clock budget [s] under cell
+            sharding; a worker hung past it is killed and its cells
+            respawn on a fresh worker (see
+            :func:`repro.utils.parallel.fork_map`).  Unenforceable on
+            the in-process (``shard="none"`` or single-cell) path.
+        worker_retries: How many worker deaths/timeouts may be charged
+            to one grid cell before it is given up — then the sweep
+            aborts (``on_error="fail"``) or records a ``stage="worker"``
+            :class:`~repro.experiments.result.CellFailure`.
     """
 
     engine: str = "serial"
@@ -89,6 +113,10 @@ class ExecutionConfig:
     collect_timing: bool = True
     kernel: str = "auto"
     telemetry: bool = False
+    on_error: str = "fail"
+    cell_retries: int = 1
+    cell_timeout: Optional[float] = None
+    worker_retries: int = 2
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -110,6 +138,17 @@ class ExecutionConfig:
             raise ValueError(
                 f"kernel must be one of {KERNELS}, got {self.kernel!r}"
             )
+        if self.on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, "
+                f"got {self.on_error!r}"
+            )
+        if self.cell_retries < 0:
+            raise ValueError("cell_retries must be >= 0")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError("cell_timeout must be None or > 0 seconds")
+        if self.worker_retries < 0:
+            raise ValueError("worker_retries must be >= 0")
         if self.shard == "cell" and self.engine == "parallel":
             raise ValueError(
                 "shard='cell' cannot nest the 'parallel' engine's per-case "

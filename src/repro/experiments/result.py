@@ -17,7 +17,15 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
-__all__ = ["ApproachResult", "CellResult", "ExperimentResult", "SweepResult"]
+__all__ = [
+    "ApproachResult",
+    "CellFailure",
+    "CellResult",
+    "ExperimentResult",
+    "SweepResult",
+    "cell_from_dict",
+    "cell_to_dict",
+]
 
 #: Fixed CSV column order of the flat row table.
 CSV_COLUMNS = (
@@ -214,6 +222,111 @@ class CellResult:
 ExperimentResult = CellResult
 
 
+@dataclass
+class CellFailure:
+    """One grid cell that could not be evaluated.
+
+    Produced by :func:`~repro.experiments.runner.run_sweep` under
+    ``on_error="record"``/``"retry"`` (and for worker-retry exhaustion)
+    instead of aborting the grid — the surviving cells' rows stay valid
+    and the failure is queryable afterwards.
+
+    Attributes:
+        key: The failed cell's stable key.
+        scenario: The experiment's display label.
+        coords: ``((axis, label), ...)`` grid coordinates.
+        error_type: Exception class name (e.g. ``"RMPCInfeasibleError"``)
+            or ``"WorkerFailure"`` for a worker that died/hung past its
+            retry budget.
+        message: The final attempt's error message.
+        attempts: How many evaluation attempts were made in total.
+        stage: ``"cell"`` for an exception raised by the cell body,
+            ``"worker"`` for a supervision-level failure (dead or hung
+            worker past its retry budget).
+    """
+
+    key: str
+    scenario: str
+    coords: tuple
+    error_type: str
+    message: str
+    attempts: int = 1
+    stage: str = "cell"
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "scenario": self.scenario,
+            "coords": [list(pair) for pair in self.coords],
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "stage": self.stage,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellFailure":
+        return cls(
+            key=payload["key"],
+            scenario=payload["scenario"],
+            coords=tuple(tuple(pair) for pair in payload["coords"]),
+            error_type=payload["error_type"],
+            message=payload["message"],
+            attempts=int(payload.get("attempts", 1)),
+            stage=payload.get("stage", "cell"),
+        )
+
+
+def cell_to_dict(cell: CellResult) -> dict:
+    """A :class:`CellResult` as a JSON-safe dict (full per-case arrays).
+
+    The unit of both :meth:`SweepResult.to_json` and the per-cell
+    checkpoint spill (:mod:`repro.experiments.checkpoint`).
+    """
+    return {
+        "key": cell.key,
+        "scenario": cell.scenario,
+        "coords": [list(pair) for pair in cell.coords],
+        "config": cell.config,
+        "approaches": {
+            name: {
+                "metrics": {
+                    metric: values.tolist()
+                    for metric, values in stats.metrics.items()
+                },
+                "mean_controller_ms": stats.mean_controller_ms,
+                "mean_monitor_ms": stats.mean_monitor_ms,
+                "solver": stats.solver,
+            }
+            for name, stats in cell.approaches.items()
+        },
+        "telemetry": cell.telemetry,
+    }
+
+
+def cell_from_dict(entry: dict) -> CellResult:
+    """Inverse of :func:`cell_to_dict` (arrays restored as float64)."""
+    return CellResult(
+        key=entry["key"],
+        scenario=entry["scenario"],
+        coords=tuple(tuple(pair) for pair in entry["coords"]),
+        config=dict(entry["config"]),
+        approaches={
+            name: ApproachResult(
+                metrics={
+                    metric: np.asarray(values, dtype=float)
+                    for metric, values in stats["metrics"].items()
+                },
+                mean_controller_ms=float(stats["mean_controller_ms"]),
+                mean_monitor_ms=float(stats["mean_monitor_ms"]),
+                solver=stats.get("solver"),
+            )
+            for name, stats in entry["approaches"].items()
+        },
+        telemetry=entry.get("telemetry"),
+    )
+
+
 class SweepResult:
     """The structured table a sweep returns.
 
@@ -231,6 +344,7 @@ class SweepResult:
         cells,
         rows: Optional[List[dict]] = None,
         telemetry: Optional[dict] = None,
+        failures: Optional[List[CellFailure]] = None,
     ):
         self.cells: List[CellResult] = list(cells)
         if rows is None:
@@ -239,6 +353,9 @@ class SweepResult:
         #: The whole sweep's merged metrics/span snapshot when it ran
         #: with telemetry enabled, else ``None``.
         self.telemetry = telemetry
+        #: Cells that could not be evaluated (``on_error="record"`` /
+        #: ``"retry"``), in grid order; empty on a clean sweep.
+        self.failures: List[CellFailure] = list(failures or [])
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -259,6 +376,11 @@ class SweepResult:
     def always_safe(self) -> bool:
         """True iff every cell was violation-free under every approach."""
         return all(row["safe"] for row in self._rows)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every planned cell was actually evaluated."""
+        return not self.failures
 
     def rows(self) -> List[dict]:
         """The flat row table (one dict per cell × approach)."""
@@ -324,29 +446,9 @@ class SweepResult:
     def to_json(self, path: str) -> None:
         """Write full-fidelity cells (per-case arrays included)."""
         payload = {
-            "cells": [
-                {
-                    "key": cell.key,
-                    "scenario": cell.scenario,
-                    "coords": [list(pair) for pair in cell.coords],
-                    "config": cell.config,
-                    "approaches": {
-                        name: {
-                            "metrics": {
-                                metric: values.tolist()
-                                for metric, values in stats.metrics.items()
-                            },
-                            "mean_controller_ms": stats.mean_controller_ms,
-                            "mean_monitor_ms": stats.mean_monitor_ms,
-                            "solver": stats.solver,
-                        }
-                        for name, stats in cell.approaches.items()
-                    },
-                    "telemetry": cell.telemetry,
-                }
-                for cell in self.cells
-            ],
+            "cells": [cell_to_dict(cell) for cell in self.cells],
             "telemetry": self.telemetry,
+            "failures": [failure.to_dict() for failure in self.failures],
         }
         with open(path, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -356,29 +458,16 @@ class SweepResult:
         """Rebuild cells (and hence rows) from :meth:`to_json` output."""
         with open(path) as handle:
             payload = json.load(handle)
-        cells = [
-            CellResult(
-                key=entry["key"],
-                scenario=entry["scenario"],
-                coords=tuple(tuple(pair) for pair in entry["coords"]),
-                config=dict(entry["config"]),
-                approaches={
-                    name: ApproachResult(
-                        metrics={
-                            metric: np.asarray(values, dtype=float)
-                            for metric, values in stats["metrics"].items()
-                        },
-                        mean_controller_ms=float(stats["mean_controller_ms"]),
-                        mean_monitor_ms=float(stats["mean_monitor_ms"]),
-                        solver=stats.get("solver"),
-                    )
-                    for name, stats in entry["approaches"].items()
-                },
-                telemetry=entry.get("telemetry"),
-            )
-            for entry in payload["cells"]
+        cells = [cell_from_dict(entry) for entry in payload["cells"]]
+        failures = [
+            CellFailure.from_dict(entry)
+            for entry in payload.get("failures", [])
         ]
-        return cls(cells=cells, telemetry=payload.get("telemetry"))
+        return cls(
+            cells=cells,
+            telemetry=payload.get("telemetry"),
+            failures=failures,
+        )
 
 
 def _parse_csv_field(column: str, value: str):

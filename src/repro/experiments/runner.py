@@ -34,10 +34,13 @@ from typing import Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro.controllers.rmpc import RMPCInfeasibleError
+from repro.experiments.checkpoint import SweepCheckpoint
 from repro.experiments.execution import ExecutionConfig
 from repro.experiments.plan import GridCell, SweepPlan
 from repro.experiments.result import (
     ApproachResult,
+    CellFailure,
     CellResult,
     ExperimentResult,
     SweepResult,
@@ -50,12 +53,32 @@ from repro.experiments.spec import (
 )
 from repro.framework.evaluation import paired_evaluation
 from repro.observability import metrics as _obs
-from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.spec import ScenarioSpec, ScenarioSynthesisError
 from repro.skipping.base import AlwaysSkipPolicy, SkippingPolicy
 from repro.skipping.heuristics import PeriodicSkipPolicy
+from repro.utils import chaos
+from repro.utils.lp import LPError
+from repro.utils.lp_backends import LPBackendError
 from repro.utils.parallel import fork_map, resolve_jobs
 
-__all__ = ["run_experiment", "run_sweep"]
+__all__ = ["run_experiment", "run_sweep", "RECOVERABLE_CELL_ERRORS"]
+
+#: Exception classes a failing grid cell may raise that ``on_error``
+#: policies absorb into :class:`CellFailure` records.  Anything outside
+#: this set (a ``TypeError``, a bad spec) is a bug in the sweep itself
+#: and always aborts, whatever the policy.
+RECOVERABLE_CELL_ERRORS = (
+    RMPCInfeasibleError,
+    ScenarioSynthesisError,
+    LPBackendError,
+    LPError,
+    FloatingPointError,
+    np.linalg.LinAlgError,
+)
+
+#: The subset for which the graceful-degradation chain applies: one
+#: re-attempt on the always-available scipy LP backend before recording.
+_SOLVER_ERRORS = (LPBackendError, LPError)
 
 logger = logging.getLogger(__name__)
 
@@ -364,14 +387,35 @@ def _finalize(
     )
 
 
+def _cell_config(spec: ExperimentSpec, execution: ExecutionConfig) -> dict:
+    """A cell's reproducibility config — the dict stored on
+    :class:`CellResult` and compared by the checkpoint before a stored
+    cell may substitute for a re-solve."""
+    return {
+        "cases": spec.num_cases,
+        "horizon": spec.horizon,
+        "seed": spec.seed,
+        "memory_length": spec.memory_length,
+        "engine": execution.engine,
+        "exact_solves": execution.exact_solves,
+        "lp_backend": execution.lp_backend,
+        "collect_timing": execution.collect_timing,
+        "kernel": execution.kernel,
+        "pattern": spec.pattern,
+    }
+
+
 def _evaluate_cell(
     cell: GridCell,
     execution: ExecutionConfig,
     inner_jobs: int,
     require_stateless: bool = False,
+    attempt: int = 1,
 ) -> CellResult:
     """Run one grid cell's full paired comparison."""
     spec = cell.experiment
+    chaos.check_cell_delay(cell.key)
+    chaos.check_cell_fault(cell.key, attempt)
     workload = _materialise(cell)
     policies = _resolve_policies(
         spec, workload.case, require_stateless=require_stateless
@@ -384,40 +428,38 @@ def _evaluate_cell(
         cell.key, len(approaches), spec.num_cases, execution.engine,
     )
     solver_effort: Dict[str, Optional[dict]] = {}
-    collected = paired_evaluation(
-        workload.system,
-        workload.controller,
-        workload.monitor_factory,
-        approaches,
-        workload.initial_states,
-        workload.realisations,
-        workload.metrics_of,
-        skip_input=workload.skip_input,
-        memory_length=spec.memory_length,
-        engine=execution.engine,
-        jobs=inner_jobs,
-        exact_solves=execution.exact_solves,
-        lp_backend=execution.lp_backend,
-        collect_timing=execution.collect_timing,
-        kernel=execution.kernel,
-        solver_effort=solver_effort,
-    )
+    try:
+        collected = paired_evaluation(
+            workload.system,
+            workload.controller,
+            workload.monitor_factory,
+            approaches,
+            workload.initial_states,
+            workload.realisations,
+            workload.metrics_of,
+            skip_input=workload.skip_input,
+            memory_length=spec.memory_length,
+            engine=execution.engine,
+            jobs=inner_jobs,
+            exact_solves=execution.exact_solves,
+            lp_backend=execution.lp_backend,
+            collect_timing=execution.collect_timing,
+            kernel=execution.kernel,
+            solver_effort=solver_effort,
+        )
+    except RMPCInfeasibleError as exc:
+        # Carry the grid coordinates: "which cell of a 1000-cell sweep
+        # was infeasible" must be answerable from the message alone.
+        point = cell.point_label or "-"
+        raise RMPCInfeasibleError(
+            f"cell {cell.key!r} (scenario={spec.display_label!r}, "
+            f"point={point!r}, seed={spec.seed}): {exc}"
+        ) from exc
     return CellResult(
         key=cell.key,
         scenario=spec.display_label,
         coords=cell.coords,
-        config={
-            "cases": spec.num_cases,
-            "horizon": spec.horizon,
-            "seed": spec.seed,
-            "memory_length": spec.memory_length,
-            "engine": execution.engine,
-            "exact_solves": execution.exact_solves,
-            "lp_backend": execution.lp_backend,
-            "collect_timing": execution.collect_timing,
-            "kernel": execution.kernel,
-            "pattern": spec.pattern,
-        },
+        config=_cell_config(spec, execution),
         approaches={
             name: _finalize(
                 collected[name], workload.metric_names,
@@ -434,6 +476,7 @@ def _cell_with_scope(
     inner_jobs: int,
     require_stateless: bool,
     telemetry_on: bool,
+    attempt: int = 1,
 ):
     """Run one cell under its own registry; return ``(result, snapshot)``.
 
@@ -441,16 +484,96 @@ def _cell_with_scope(
     path run cells through this exact scope, and the caller merges the
     returned snapshots in grid order — which is what makes a ``jobs=k``
     sweep's merged telemetry equal the ``jobs=1`` run's exactly.
+
+    A raising cell discards its scoped registry wholesale (the snapshot
+    is only taken on success), so a failed or retried attempt leaves no
+    partial telemetry behind — the recovered sweep's merged snapshot
+    stays equal to an undisturbed run's.
     """
     with _obs.scoped_registry(enabled=telemetry_on) as reg:
         with reg.span("cell", key=cell.key, scenario=cell.experiment.display_label):
             result = _evaluate_cell(
-                cell, execution, inner_jobs, require_stateless=require_stateless
+                cell, execution, inner_jobs,
+                require_stateless=require_stateless, attempt=attempt,
             )
         snap = reg.snapshot()
     if telemetry_on:
         result.telemetry = snap
     return result, snap
+
+
+def _guarded_cell(
+    cell: GridCell,
+    execution: ExecutionConfig,
+    inner_jobs: int,
+    require_stateless: bool,
+    telemetry_on: bool,
+):
+    """Run one cell under the configured ``on_error`` policy.
+
+    Returns ``(outcome, snapshot, attempts)`` where ``outcome`` is the
+    :class:`CellResult` on success or a :class:`CellFailure` once the
+    policy gives up (``snapshot`` is then ``None``).  Counter updates
+    for retries/failures are the *caller's* job (from ``attempts`` and
+    the outcome type) — this function runs inside forked workers, whose
+    registries are discarded on failure.
+
+    Retry discipline under ``on_error="retry"``: up to ``cell_retries``
+    plain re-attempts; a solver-layer error
+    (:data:`_SOLVER_ERRORS`) additionally earns one re-attempt on the
+    always-available scipy LP backend — the graceful-degradation chain —
+    before anything is recorded.  The scipy attempt also runs under
+    ``on_error="record"`` (degrade-then-record), never under ``"fail"``.
+    """
+    mode = execution.on_error
+    budget = 1 + (execution.cell_retries if mode == "retry" else 0)
+    execution_now = execution
+    degraded = False
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            result, snap = _cell_with_scope(
+                cell, execution_now, inner_jobs,
+                require_stateless=require_stateless,
+                telemetry_on=telemetry_on, attempt=attempt,
+            )
+            return result, snap, attempt
+        except RECOVERABLE_CELL_ERRORS as exc:
+            if mode == "fail":
+                raise
+            if (
+                isinstance(exc, _SOLVER_ERRORS)
+                and not degraded
+                and execution_now.lp_backend != "scipy"
+            ):
+                logger.warning(
+                    "cell %s: %s on lp_backend=%r; degrading to scipy",
+                    cell.key, type(exc).__name__, execution_now.lp_backend,
+                )
+                degraded = True
+                execution_now = replace(execution_now, lp_backend="scipy")
+                continue
+            if mode == "retry" and attempt < budget:
+                logger.warning(
+                    "cell %s: attempt %d/%d failed (%s); retrying",
+                    cell.key, attempt, budget, type(exc).__name__,
+                )
+                continue
+            logger.error(
+                "cell %s failed after %d attempt(s): %s: %s",
+                cell.key, attempt, type(exc).__name__, exc,
+            )
+            failure = CellFailure(
+                key=cell.key,
+                scenario=cell.experiment.display_label,
+                coords=cell.coords,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                attempts=attempt,
+                stage="cell",
+            )
+            return failure, None, attempt
 
 
 # ----------------------------------------------------------------------
@@ -491,6 +614,7 @@ def run_sweep(
     plan: SweepPlan,
     execution: Optional[ExecutionConfig] = None,
     on_cell: Optional[Callable[[CellResult], None]] = None,
+    checkpoint=None,
 ) -> SweepResult:
     """Execute a sweep plan's full grid, sharding cells over workers.
 
@@ -506,6 +630,21 @@ def run_sweep(
     fan-out must not nest inside cell workers) cells run sequentially
     in-process.
 
+    Fault tolerance: a worker that dies or hangs past
+    ``execution.cell_timeout`` is respawned for its unfinished cells
+    (bounded by ``execution.worker_retries``); a cell that raises a
+    :data:`RECOVERABLE_CELL_ERRORS` exception is handled per
+    ``execution.on_error`` — abort (``"fail"``, the default), record a
+    :class:`~repro.experiments.result.CellFailure` on
+    ``SweepResult.failures`` (``"record"``), or retry first
+    (``"retry"``, with a scipy-backend degradation for solver errors).
+    Recovery never perturbs results: a re-run cell is re-forked from the
+    parent's unchanged state, failed attempts discard their telemetry
+    scope, and the recovery counters (``worker_respawns_total``,
+    ``cell_retries_total``, ``sweep_cell_failures_total``) are excluded
+    from the deterministic telemetry view — so a recovered sweep equals
+    an undisturbed one on every surviving cell.
+
     Telemetry (``execution.telemetry`` or a globally enabled registry):
     every cell runs under its own scoped registry — inside the forked
     worker when sharded, in-process otherwise — and the per-cell
@@ -520,19 +659,52 @@ def run_sweep(
         plan: The sweep plan.
         execution: Overrides ``plan.execution`` when given.
         on_cell: Optional progress callback, invoked once per completed
-            cell (completion order under sharding, grid order otherwise).
+            cell (completion order under sharding, grid order otherwise;
+            not invoked for checkpoint-restored or failed cells).
+        checkpoint: Optional directory path (or
+            :class:`~repro.experiments.checkpoint.SweepCheckpoint`) for
+            resumable execution: each completed cell spills its JSON
+            there the moment it finishes, and on restart cells already
+            on disk — same stable key, same reproducibility config — are
+            loaded instead of re-solved.  An interrupted sweep resumed
+            this way re-solves only the missing/failed cells and returns
+            the identical :class:`SweepResult`.
 
     Returns:
         A :class:`~repro.experiments.result.SweepResult` with cells in
-        grid order regardless of worker scheduling.
+        grid order regardless of worker scheduling (failed cells under
+        ``on_error != "fail"`` are absent from ``cells`` and listed on
+        ``failures`` instead).
     """
     if execution is None:
         execution = plan.execution
     telemetry_on = execution.telemetry or _obs.telemetry_enabled()
     cells = plan.cells()
+
+    store: Optional[SweepCheckpoint] = None
+    loaded: Dict[str, CellResult] = {}
+    if checkpoint is not None:
+        store = (
+            checkpoint
+            if isinstance(checkpoint, SweepCheckpoint)
+            else SweepCheckpoint(checkpoint)
+        )
+        for cell in cells:
+            prior = store.load(
+                cell.key, _cell_config(cell.experiment, execution)
+            )
+            if prior is not None:
+                loaded[cell.key] = prior
+        if loaded:
+            logger.info(
+                "sweep: restored %d/%d cells from checkpoint %s",
+                len(loaded), len(cells), store.directory,
+            )
+    pending = [cell for cell in cells if cell.key not in loaded]
+
     sharded = (
         execution.resolved_shard() == "cell"
-        and len(cells) > 1
+        and len(pending) > 1
         and resolve_jobs(execution.jobs) > 1
     )
     logger.info(
@@ -540,6 +712,34 @@ def run_sweep(
         len(cells), execution.engine, resolve_jobs(execution.jobs),
         sharded, telemetry_on,
     )
+
+    def _stream(outcome) -> None:
+        # Per-completion stream (the checkpoint spill + progress hook);
+        # fires for fresh CellResults only — failures and restored cells
+        # have nothing new worth spilling.
+        if not isinstance(outcome, CellResult):
+            return
+        if store is not None:
+            store.store(outcome)
+        if on_cell is not None:
+            on_cell(outcome)
+
+    def _worker_failure(index: int, reason: str) -> tuple:
+        # fork_map gave up on a cell after worker_retries deaths or
+        # timeouts: synthesise the supervision-level failure outcome so
+        # the rest of the grid still completes.
+        cell = pending[index]
+        failure = CellFailure(
+            key=cell.key,
+            scenario=cell.experiment.display_label,
+            coords=cell.coords,
+            error_type="WorkerFailure",
+            message=reason,
+            attempts=execution.worker_retries + 1,
+            stage="worker",
+        )
+        return failure, None, 1
+
     scope = (
         _obs.scoped_registry(enabled=True)
         if telemetry_on
@@ -551,41 +751,74 @@ def run_sweep(
             jobs=execution.jobs, sharded=sharded,
         ):
             if sharded:
-                on_result = (
-                    None
-                    if on_cell is None
-                    else (lambda index, pair: on_cell(pair[0]))
-                )
-                pairs = fork_map(
+                triples = fork_map(
                     # require_stateless: the jobs-invariance contract
                     # below only holds when no policy state can leak
                     # across cells.
-                    lambda cell: _cell_with_scope(
+                    lambda cell: _guarded_cell(
                         cell, execution, inner_jobs=1,
                         require_stateless=True, telemetry_on=telemetry_on,
                     ),
-                    cells,
+                    pending,
                     jobs=execution.jobs,
-                    on_result=on_result,
+                    on_result=lambda index, triple: _stream(triple[0]),
+                    timeout=execution.cell_timeout,
+                    max_retries=execution.worker_retries,
+                    on_item_failure=(
+                        None
+                        if execution.on_error == "fail"
+                        else _worker_failure
+                    ),
                 )
             else:
-                pairs = []
-                for cell in cells:
-                    pair = _cell_with_scope(
+                triples = []
+                for cell in pending:
+                    triple = _guarded_cell(
                         cell, execution, inner_jobs=execution.jobs,
                         require_stateless=False, telemetry_on=telemetry_on,
                     )
-                    if on_cell is not None:
-                        on_cell(pair[0])
-                    pairs.append(pair)
-            # Grid-order merge inside the open sweep span: cell spans
+                    _stream(triple[0])
+                    triples.append(triple)
+            # Grid-order assembly inside the open sweep span: cell spans
             # attach under it, and jobs=k accumulation order matches
-            # jobs=1 regardless of worker scheduling.
-            for _, snap in pairs:
-                sweep_reg.merge_snapshot(snap)
+            # jobs=1 regardless of worker scheduling.  Restored cells
+            # contribute their *stored* snapshot, so a resumed sweep's
+            # merged telemetry reflects the whole grid, and the recovery
+            # counters land in the sweep registry (parent-side — worker
+            # registries are per-attempt and discarded on failure).
+            outcome_by_key = {
+                cell.key: triple for cell, triple in zip(pending, triples)
+            }
+            results: List[CellResult] = []
+            failures: List[CellFailure] = []
+            for cell in cells:
+                prior = loaded.get(cell.key)
+                if prior is not None:
+                    results.append(prior)
+                    sweep_reg.merge_snapshot(prior.telemetry)
+                    continue
+                outcome, snap, attempts = outcome_by_key[cell.key]
+                if attempts > 1:
+                    sweep_reg.inc("cell_retries_total", attempts - 1)
+                if isinstance(outcome, CellFailure):
+                    failures.append(outcome)
+                    sweep_reg.inc(
+                        "sweep_cell_failures_total",
+                        error=outcome.error_type,
+                        stage=outcome.stage,
+                    )
+                else:
+                    results.append(outcome)
+                    sweep_reg.merge_snapshot(snap)
         sweep_snapshot = sweep_reg.snapshot() if telemetry_on else None
     if telemetry_on:
         _obs.registry().merge_snapshot(sweep_snapshot)
+    if failures:
+        logger.warning(
+            "sweep: %d/%d cells failed (%s)",
+            len(failures), len(cells),
+            ", ".join(f.key for f in failures),
+        )
     return SweepResult(
-        [result for result, _ in pairs], telemetry=sweep_snapshot
+        results, telemetry=sweep_snapshot, failures=failures
     )

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.controllers.base import Controller
+from repro.controllers.rmpc import RMPCInfeasibleError
 from repro.framework.accounting import RunStats
 from repro.framework.intermittent import IntermittentController, run_controller_only
 from repro.framework.lockstep import lockstep_controller_only, run_lockstep
@@ -277,18 +278,27 @@ def paired_evaluation(
         efforts = {}
         for name, policy in approaches.items():
             before = _solver_probe() if instrumented else None
-            if policy is None:
-                stats = run_controller_only(system, controller, x0, disturbances)
-            else:
-                runner = IntermittentController(
-                    system=system,
-                    controller=controller,
-                    monitor=monitor_factory(),
-                    policy=policy,
-                    skip_input=skip_input,
-                    memory_length=memory_length,
-                )
-                stats = runner.run(x0, disturbances)
+            try:
+                if policy is None:
+                    stats = run_controller_only(
+                        system, controller, x0, disturbances
+                    )
+                else:
+                    runner = IntermittentController(
+                        system=system,
+                        controller=controller,
+                        monitor=monitor_factory(),
+                        policy=policy,
+                        skip_input=skip_input,
+                        memory_length=memory_length,
+                    )
+                    stats = runner.run(x0, disturbances)
+            except RMPCInfeasibleError as exc:
+                # Name the episode: the cell layer above adds the grid
+                # coordinates, this layer owns the case index.
+                raise RMPCInfeasibleError(
+                    f"case {i} ({name}): {exc}"
+                ) from None
             metrics[name] = metrics_of(stats)
             if instrumented:
                 efforts[name] = _probe_delta(before, _solver_probe())

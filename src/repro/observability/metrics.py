@@ -61,6 +61,7 @@ __all__ = [
     "telemetry_enabled",
     "scoped_registry",
     "deterministic_view",
+    "FAULT_RECOVERY_METRICS",
     "render_prometheus",
     "render_table",
 ]
@@ -68,6 +69,16 @@ __all__ = [
 #: Metric-name markers that flag wall-clock content; such metrics are
 #: excluded from :meth:`MetricsRegistry.deterministic_snapshot`.
 TIMING_MARKERS = ("_seconds", "_ms")
+
+#: Fault-recovery bookkeeping counters.  They describe *how* a run got
+#: to its answer (a worker died and was respawned, a cell was retried),
+#: not the answer itself — a faulted-then-recovered sweep must still
+#: equal an unfaulted reference in the deterministic view, so these are
+#: excluded alongside the wall-clock metrics.
+FAULT_RECOVERY_METRICS = frozenset(
+    {"worker_respawns_total", "sweep_cell_failures_total",
+     "cell_retries_total"}
+)
 
 #: Default histogram bucket upper bounds (powers of two — sized for
 #: batch-size style observations like stacked-solve k).
@@ -92,6 +103,7 @@ def deterministic_view(snapshot: dict) -> dict:
             name: entries
             for name, entries in snapshot.get(family, {}).items()
             if not any(marker in name for marker in TIMING_MARKERS)
+            and name not in FAULT_RECOVERY_METRICS
         }
         for family in ("counters", "gauges", "histograms")
     }

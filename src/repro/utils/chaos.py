@@ -1,0 +1,219 @@
+"""Deterministic fault injection for the resilient execution layer.
+
+Every recovery path of the fault-tolerant sweep stack — worker
+supervision in :func:`repro.utils.parallel.fork_map`, per-cell
+``on_error`` handling and retries in
+:func:`repro.experiments.runner.run_sweep`, per-item timeouts — is
+proved by *differential* test: a faulted-then-recovered run must equal
+an unfaulted reference exactly in the deterministic view.  That needs
+faults that fire at a precise, reproducible point and then *stop
+firing* once recovery kicks in.  This module provides them.
+
+Design constraints the fault descriptors encode:
+
+* **Fork inheritance.**  The active :class:`FaultPlan` is a module
+  global installed in the parent (via :func:`inject`); forked workers
+  inherit it through the process image.  Worker-side state mutations
+  never propagate back, and a *respawned* worker re-inherits the
+  parent's pristine plan — so "fire once" cannot be a mutable counter.
+  Instead every descriptor is keyed on information the firing site can
+  compute deterministically: the worker slot's spawn *generation*
+  (1 = initial spawn, 2 = first respawn, ...) or the cell's *attempt*
+  number under ``on_error="retry"``.
+* **Kills are real.**  :class:`WorkerKill` delivers an actual
+  ``SIGKILL`` to the worker process — the parent sees exactly what an
+  OOM kill looks like (EOF on the result pipe, no farewell message).
+
+Typical test usage::
+
+    from repro.utils import chaos
+
+    plan = chaos.FaultPlan(worker_kills=(chaos.WorkerKill(item=1),))
+    with chaos.inject(plan):
+        result = run_sweep(sweep_plan, ExecutionConfig(jobs=2))
+    assert result.deterministic_rows() == reference.deterministic_rows()
+
+With no plan installed every hook is a no-op costing one global read,
+so production runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional, Tuple, Type, Union
+
+__all__ = [
+    "CellDelay",
+    "CellFault",
+    "FaultPlan",
+    "WorkerKill",
+    "active_plan",
+    "check_cell_delay",
+    "check_cell_fault",
+    "check_worker_kill",
+    "inject",
+    "set_worker_context",
+    "worker_generation",
+    "worker_slot",
+]
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """SIGKILL a ``fork_map`` worker immediately before it processes an
+    item — the deterministic stand-in for an OOM/signal death.
+
+    Attributes:
+        item: Global index (into ``fork_map``'s item list) whose
+            processing triggers the kill.
+        generation: Worker spawn generation on which to fire (1 = the
+            initial spawn).  A respawned worker runs at generation + 1,
+            so the default kills exactly once and recovery proceeds.
+        worker: Restrict to one worker slot; ``None`` matches whichever
+            slot the item was assigned to.
+    """
+
+    item: int
+    generation: int = 1
+    worker: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CellFault:
+    """Raise a chosen exception at the top of a grid cell's evaluation.
+
+    Attributes:
+        key: The grid cell's stable key (exact match).
+        error: Exception class (instantiated with a descriptive chaos
+            message) or a ready exception instance to raise as-is.
+        attempts: Cell attempt numbers on which to fire (attempt 1 is
+            the first run; retries under ``on_error="retry"`` count up).
+            The default fires only on the first attempt, so a single
+            retry recovers.
+    """
+
+    key: str
+    error: Union[Type[BaseException], BaseException] = RuntimeError
+    attempts: Tuple[int, ...] = (1,)
+
+
+@dataclass(frozen=True)
+class CellDelay:
+    """Stall a grid cell's evaluation — the deterministic hung worker.
+
+    Attributes:
+        key: The grid cell's stable key (exact match).
+        seconds: How long to sleep before the cell body runs.
+        generations: Worker spawn generations on which to fire (in the
+            parent process — an unsharded sweep — the generation is 1).
+            The default stalls only the first spawn, so the supervisor's
+            kill-and-respawn recovers.
+    """
+
+    key: str
+    seconds: float
+    generations: Tuple[int, ...] = (1,)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete deterministic fault schedule for one run."""
+
+    worker_kills: Tuple[WorkerKill, ...] = ()
+    cell_faults: Tuple[CellFault, ...] = ()
+    cell_delays: Tuple[CellDelay, ...] = ()
+
+
+_PLAN: Optional[FaultPlan] = None
+
+#: ``(slot, generation)`` of the current ``fork_map`` worker process;
+#: ``None`` in the parent.  Set by the worker immediately after fork.
+_WORKER_CTX: Optional[Tuple[int, int]] = None
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Install ``plan`` as the active fault schedule for the block.
+
+    Must run in the parent before workers fork (children inherit the
+    plan through the process image).  Restores the previous plan on
+    exit, so tests compose.
+    """
+    global _PLAN
+    previous = _PLAN
+    _PLAN = plan
+    try:
+        yield plan
+    finally:
+        _PLAN = previous
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed :class:`FaultPlan`, or ``None`` (the normal case)."""
+    return _PLAN
+
+
+def set_worker_context(slot: int, generation: int) -> None:
+    """Record this process's worker identity (called by ``fork_map``
+    inside the freshly forked child, whether or not a plan is active)."""
+    global _WORKER_CTX
+    _WORKER_CTX = (int(slot), int(generation))
+
+
+def worker_slot() -> Optional[int]:
+    """The current worker slot, or ``None`` in the parent."""
+    return _WORKER_CTX[0] if _WORKER_CTX is not None else None
+
+
+def worker_generation() -> int:
+    """The current worker's spawn generation (1 in the parent)."""
+    return _WORKER_CTX[1] if _WORKER_CTX is not None else 1
+
+
+# ----------------------------------------------------------------------
+# Hooks (called by the instrumented sites; no-ops without a plan)
+# ----------------------------------------------------------------------
+def check_worker_kill(slot: int, item: int, generation: int) -> None:
+    """SIGKILL this process if the plan schedules a kill at ``item``."""
+    plan = _PLAN
+    if plan is None:
+        return
+    for kill in plan.worker_kills:
+        if (
+            kill.item == item
+            and kill.generation == generation
+            and (kill.worker is None or kill.worker == slot)
+        ):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def check_cell_fault(key: str, attempt: int) -> None:
+    """Raise the scheduled exception for cell ``key`` at ``attempt``."""
+    plan = _PLAN
+    if plan is None:
+        return
+    for fault in plan.cell_faults:
+        if fault.key == key and attempt in fault.attempts:
+            error = fault.error
+            if isinstance(error, BaseException):
+                raise error
+            raise error(
+                f"chaos: injected {error.__name__} in cell {key!r} "
+                f"(attempt {attempt})"
+            )
+
+
+def check_cell_delay(key: str) -> None:
+    """Sleep through the scheduled stall for cell ``key`` (keyed on the
+    worker generation, so a kill-and-respawn recovery is not re-stalled)."""
+    plan = _PLAN
+    if plan is None:
+        return
+    generation = worker_generation()
+    for delay in plan.cell_delays:
+        if delay.key == key and generation in delay.generations:
+            time.sleep(delay.seconds)

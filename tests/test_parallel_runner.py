@@ -7,10 +7,15 @@ because every episode derives its own generator stream from the root
 seed and workers never share randomness.
 """
 
+import multiprocessing as mp
+import time
+
 import numpy as np
 import pytest
 
 from repro.controllers import LinearFeedback, lqr_gain
+from repro.observability import metrics as obs
+from repro.utils import chaos
 from repro.framework import (
     DETERMINISTIC_FIELDS,
     BatchResult,
@@ -217,3 +222,85 @@ class TestForkMap:
 
         with pytest.raises(RuntimeError, match="callback blew up"):
             fork_map(lambda x: x, range(6), jobs=2, on_result=cb)
+
+
+@pytest.mark.skipif(not fork_available(), reason="no fork start method")
+class TestForkMapSupervision:
+    def test_killed_worker_respawns_and_completes(self):
+        plan = chaos.FaultPlan(worker_kills=(chaos.WorkerKill(item=1),))
+        items = list(range(6))
+        with obs.scoped_registry() as reg, chaos.inject(plan):
+            out = fork_map(lambda x: x * x, items, jobs=2, backoff=0.0)
+        assert out == [x * x for x in items]
+        assert reg.value("worker_respawns_total") == 1
+
+    def test_deterministic_kill_exhausts_retries(self):
+        plan = chaos.FaultPlan(
+            worker_kills=tuple(
+                chaos.WorkerKill(item=1, generation=g) for g in (1, 2, 3)
+            )
+        )
+        with chaos.inject(plan):
+            with pytest.raises(
+                RuntimeError, match=r"gave up after 3 attempts"
+            ):
+                fork_map(lambda x: x, range(6), jobs=2, backoff=0.0)
+
+    def test_on_item_failure_substitutes_and_map_continues(self):
+        plan = chaos.FaultPlan(
+            worker_kills=tuple(
+                chaos.WorkerKill(item=1, generation=g) for g in (1, 2, 3)
+            )
+        )
+        streamed = []
+        with chaos.inject(plan):
+            out = fork_map(
+                lambda x: x * 10, range(6), jobs=2, backoff=0.0,
+                on_result=lambda i, v: streamed.append((i, v)),
+                on_item_failure=lambda i, reason: ("sorry", i, reason),
+            )
+        assert out[1][:2] == ("sorry", 1)
+        assert "gave up after 3 attempts" in out[1][2]
+        assert [out[i] for i in (0, 2, 3, 4, 5)] == [0, 20, 30, 40, 50]
+        # The placeholder streams through on_result like a completion.
+        assert sorted(i for i, _ in streamed) == list(range(6))
+
+    def test_hung_worker_is_killed_and_retried(self):
+        def slow_on_first_spawn(x):
+            if x == 1 and chaos.worker_generation() == 1:
+                time.sleep(30)
+            return -x
+
+        items = list(range(4))
+        with obs.scoped_registry() as reg:
+            out = fork_map(
+                slow_on_first_spawn, items, jobs=2, timeout=1.0, backoff=0.0
+            )
+        assert out == [-x for x in items]
+        assert reg.value("worker_respawns_total") == 1
+
+    def test_persistent_hang_exhausts_retries_with_timeout_reason(self):
+        def always_slow(x):
+            if x == 1:
+                time.sleep(30)
+            return x
+
+        with pytest.raises(RuntimeError, match=r"hung past the 0\.5s"):
+            fork_map(
+                always_slow, range(4), jobs=2, timeout=0.5,
+                max_retries=1, backoff=0.0,
+            )
+
+    def test_keyboard_interrupt_reaps_children(self):
+        def interrupt(i, v):
+            raise KeyboardInterrupt
+
+        def slowish(x):
+            time.sleep(0.2)
+            return x
+
+        with pytest.raises(KeyboardInterrupt):
+            fork_map(slowish, range(8), jobs=2, on_result=interrupt)
+        # The finally block must terminate AND join every child — no
+        # zombies, no orphans still running.
+        assert mp.active_children() == []

@@ -313,7 +313,7 @@ class TestShardedTelemetryMerge:
         # The sharded run's rows stay deterministic too.
         assert results[2].deterministic_rows() == results[1].deterministic_rows()
 
-    def test_worker_death_leaves_parent_registry_untouched(self):
+    def test_worker_death_leaves_deterministic_view_untouched(self):
         def die_on_one(i: int) -> int:
             if i == 1:
                 os._exit(1)
@@ -321,11 +321,19 @@ class TestShardedTelemetryMerge:
 
         with obs.scoped_registry(enabled=True) as reg:
             reg.inc("parent_probe_total", 5)
-            before = reg.snapshot()
+            before = reg.deterministic_snapshot()
             with pytest.raises(RuntimeError):
-                fork_map(die_on_one, range(3), jobs=2)
-            assert reg.snapshot() == before
+                fork_map(die_on_one, range(3), jobs=2, backoff=0.0)
+            # The dead workers' partial registries never merge; the only
+            # trace of the deaths is the supervision counter (the item
+            # dies deterministically, so both respawn budget slots were
+            # spent), which the deterministic view excludes.
             assert reg.value("parent_probe_total") == 5
+            assert reg.value("worker_respawns_total") == 2
+            assert set(reg.snapshot()["counters"]) == {
+                "parent_probe_total", "worker_respawns_total"
+            }
+            assert reg.deterministic_snapshot() == before
 
 
 class TestSolverEffortColumns:
