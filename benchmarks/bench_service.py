@@ -1,0 +1,251 @@
+"""Experiment-service smoke: sweeps over HTTP against a real server.
+
+Standalone script (not a pytest kernel) so CI can gate the service
+end-to-end and operators can smoke a deployment::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+
+It boots ``repro serve`` as a *separate process* on an ephemeral port
+over a fresh store, submits the 2x2 quick grid twice, and gates the
+service determinism contract:
+
+* the first (cold) submission solves every cell and its rows equal an
+  uncached in-process ``run_sweep`` of the same plan in the
+  deterministic view, with deterministic-view telemetry equal too;
+* the second (warm) submission is 100% store-hits — zero cells solved —
+  and its rows are **byte-identical** (timing columns included) to the
+  cold submission's, because they *are* the stored records;
+* the shared store's hit/miss counters confirm the split exactly.
+
+Any failed gate exits non-zero.  Every run writes a
+``BENCH_service.json`` artifact carrying the store stats snapshot, the
+per-phase wall-clock, and both job statuses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+
+from machine import machine_info, visible_cpus
+
+from repro.experiments import (
+    ExecutionConfig,
+    ParameterAxis,
+    SweepPlan,
+    run_sweep,
+)
+from repro.observability import deterministic_view
+from repro.service import ServiceClient
+
+
+def start_server(store_dir: str, timeout: float = 60.0):
+    """Launch ``repro serve --port 0`` and return ``(process, url)``."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--store", store_dir, "--port", "0",
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=dict(os.environ),
+    )
+    line = proc.stderr.readline()
+    match = re.search(r"on (http://\S+)", line)
+    if not match:
+        proc.terminate()
+        raise RuntimeError(f"serve did not announce a URL: {line!r}")
+    url = match.group(1)
+    client = ServiceClient(url, timeout=5.0)
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            client.health()
+            return proc, url
+        except OSError:
+            if time.monotonic() >= deadline:
+                proc.terminate()
+                raise
+            time.sleep(0.05)
+
+
+def run_benchmark(scenario_names, axis_values, cases, horizon, seed,
+                  store_dir) -> dict:
+    plan = SweepPlan.for_scenarios(
+        scenario_names,
+        axes=(ParameterAxis("horizon", tuple(axis_values)),),
+        execution=ExecutionConfig(
+            engine="lockstep", jobs=1, telemetry=True
+        ),
+        num_cases=cases,
+        horizon=horizon,
+        seed=seed,
+    )
+    cells = len(plan.cells())
+
+    # The in-process reference runs first, from cold caches — the
+    # server process starts cold too, so deterministic-view telemetry
+    # (which keys scenario builds by cache/synthesised source) is
+    # comparable across the two processes.
+    tick = time.perf_counter()
+    reference = run_sweep(plan)
+    reference_seconds = time.perf_counter() - tick
+
+    proc, url = start_server(store_dir)
+    checks = []
+    try:
+        client = ServiceClient(url)
+        phases = []
+        results = []
+        statuses = []
+        for phase in ("cold", "warm"):
+            tick = time.perf_counter()
+            job_id = client.submit(plan)
+            status = client.wait(job_id, timeout=600, poll=0.05)
+            results.append(client.result(job_id))
+            statuses.append(status)
+            phases.append(
+                {
+                    "phase": phase,
+                    "job": job_id,
+                    "seconds": time.perf_counter() - tick,
+                    "state": status["state"],
+                    "cells_restored": status["cells_restored"],
+                }
+            )
+        cold, warm = results
+        stats = client.store_stats()
+
+        checks = [
+            ("cold job done", statuses[0]["state"] == "done"),
+            ("cold solved every cell", statuses[0]["cells_restored"] == 0),
+            (
+                "cold rows == in-process run_sweep (deterministic view)",
+                cold.deterministic_rows() == reference.deterministic_rows(),
+            ),
+            (
+                "cold telemetry == in-process (deterministic view)",
+                deterministic_view(cold.telemetry)
+                == deterministic_view(reference.telemetry),
+            ),
+            (
+                "warm job 100% store-hits",
+                statuses[1]["cells_restored"] == cells,
+            ),
+            (
+                "warm rows byte-identical to cold (stored records)",
+                warm.rows() == cold.rows(),
+            ),
+            (
+                "warm rows == in-process run_sweep (deterministic view)",
+                warm.deterministic_rows() == reference.deterministic_rows(),
+            ),
+            (
+                "warm telemetry == in-process (deterministic view)",
+                deterministic_view(warm.telemetry)
+                == deterministic_view(reference.telemetry),
+            ),
+            ("store holds every cell once", stats["files"] == cells),
+            ("store hit per warm cell", stats["hits"] == cells),
+            ("store miss per cold cell", stats["misses"] == cells),
+        ]
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+    return {
+        "scenarios": list(scenario_names),
+        "axis_values": list(axis_values),
+        "cells": cells,
+        "cases": cases,
+        "horizon": horizon,
+        "seed": seed,
+        "cpus": visible_cpus(),
+        "machine": machine_info(),
+        "reference_seconds": reference_seconds,
+        "phases": phases,
+        "store_stats": stats,
+        "jobs": statuses,
+        "checks": [
+            {"check": name, "ok": ok} for name, ok in checks
+        ],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenarios", nargs="+", default=["thermal", "pendulum"],
+        metavar="NAME", help="registry scenarios forming the grid rows",
+    )
+    parser.add_argument(
+        "--axis-values", nargs="+", type=int, default=[8, 12],
+        help="horizon-axis points (the grid is scenarios x these)",
+    )
+    parser.add_argument("--cases", type=int, default=16)
+    parser.add_argument("--horizon", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI scale: 2 scenarios x 2 axis points, 4 cases x 12 steps",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="store directory (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--artifact", default="BENCH_service.json",
+        help="artifact path ('' disables writing)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.scenarios = args.scenarios[:2]
+        args.axis_values = args.axis_values[:2]
+        args.cases = 4
+        args.horizon = 12
+
+    store_dir = args.store
+    if store_dir is None:
+        import tempfile
+
+        store_dir = tempfile.mkdtemp(prefix="repro-service-bench-")
+
+    report = run_benchmark(
+        args.scenarios, args.axis_values, args.cases, args.horizon,
+        args.seed, store_dir,
+    )
+    print(
+        f"service smoke: {len(report['scenarios'])} scenario(s) x "
+        f"{len(report['axis_values'])} point(s) = {report['cells']} "
+        f"cell(s), {report['cases']} cases x {report['horizon']} steps, "
+        f"{report['cpus']} visible CPU(s); in-process reference "
+        f"{report['reference_seconds']:.2f}s"
+    )
+    for phase in report["phases"]:
+        print(
+            f"  {phase['phase']:<5} {phase['job']:<8} "
+            f"{phase['seconds']:>7.2f}s  state={phase['state']}  "
+            f"restored={phase['cells_restored']}/{report['cells']}"
+        )
+    stats = report["store_stats"]
+    print(
+        f"  store: {stats['files']} record(s), {stats['bytes']} bytes, "
+        f"{stats['hits']} hit(s), {stats['misses']} miss(es), "
+        f"{stats['puts']} put(s)"
+    )
+    for check in report["checks"]:
+        print(f"  [{'ok' if check['ok'] else 'FAIL'}] {check['check']}")
+    if args.artifact:
+        with open(args.artifact, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.artifact}")
+    return 0 if all(check["ok"] for check in report["checks"]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli scenarios --detail   # + synthesised set sizes/timing
     python -m repro.cli batch --scenario pendulum --engine lockstep
     python -m repro.cli sweep --cases 8      # Table-I-style cross-scenario sweep
+    python -m repro.cli serve --store /tmp/store        # experiment service
+    python -m repro.cli submit --wait --cases 4         # sweep over HTTP
+    python -m repro.cli jobs                 # service job list + store stats
 
 Each subcommand prints the same tables the benchmark suite emits, at a
 scale chosen via flags, so results can be regenerated without pytest.
@@ -264,6 +267,16 @@ def _cmd_sweep(args) -> int:
         f"engine={args.engine}, jobs={args.jobs}, seed={args.seed}\n"
     )
     result = run_sweep(plan, execution, checkpoint=args.checkpoint)
+    if args.checkpoint is not None:
+        # The resume split, on stderr so piped stdout tables stay clean
+        # (also counted as sweep_cells_restored_total /
+        # sweep_cells_solved_total in the telemetry snapshot).
+        _echo(
+            f"checkpoint {args.checkpoint}: "
+            f"{len(result.restored)} cell(s) restored, "
+            f"{len(result.cells) - len(result.restored)} re-solved",
+            err=True,
+        )
     _echo(
         f"{'cell':<26} {'approach':<10} {'saving':>8} {'skip%':>6} "
         f"{'forced':>7} {'max viol':>9} {'safe':>5}"
@@ -308,6 +321,112 @@ def _cmd_sweep(args) -> int:
     if status == 0:
         _echo("\nall scenarios safe under the certified monitor")
     return status
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    server = serve(args.store, host=args.host, port=args.port)
+    _echo(
+        f"experiment service on {server.url} (store: {args.store}) — "
+        "Ctrl-C to stop",
+        err=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        _echo("shutting down", err=True)
+    finally:
+        server.close()
+    return 0
+
+
+def _build_submit_plan(args):
+    """A declarative SweepPlan from `repro submit`'s flags."""
+    from repro import scenarios
+    from repro.experiments import ExecutionConfig, SweepPlan
+
+    names = args.scenarios or scenarios.list_scenarios()
+    execution = ExecutionConfig(
+        engine=args.engine, jobs=args.jobs, exact_solves=args.exact_solves,
+        lp_backend=args.lp_backend, collect_timing=args.collect_timing,
+        kernel=args.kernel, telemetry=args.telemetry,
+        on_error=args.on_error,
+    )
+    return SweepPlan.for_scenarios(
+        names,
+        axes=tuple(args.axis or ()),
+        execution=execution,
+        num_cases=args.cases,
+        horizon=args.horizon,
+        seed=args.seed,
+    )
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        job_id = client.submit(_build_submit_plan(args))
+    except (ServiceError, OSError) as exc:
+        _echo(f"error: submission to {args.url} failed: {exc}", err=True)
+        return 2
+    _echo(f"submitted {job_id} to {args.url}")
+    if not args.wait:
+        return 0
+    status = client.wait(job_id, timeout=args.timeout, poll=args.poll)
+    restored = status["cells_restored"]
+    _echo(
+        f"{job_id}: {status['state']} — {status['cells_done']}/"
+        f"{status['cells_total']} cell(s), {restored} served from the "
+        f"store, {status['cells_done'] - restored} solved",
+        err=True,
+    )
+    if status["state"] != "done":
+        if status["error"]:
+            _echo(f"error: {status['error']}", err=True)
+        return 1
+    result = client.result(job_id)
+    if args.out:
+        if args.out.endswith(".csv"):
+            result.to_csv(args.out)
+        else:
+            result.to_json(args.out)
+        _echo(f"sweep table written to {args.out}")
+    if result.failures:
+        _echo(
+            f"WARNING: {len(result.failures)} cell(s) failed", err=True
+        )
+        return 1
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        jobs = client.jobs()
+        stats = client.store_stats()
+    except (ServiceError, OSError) as exc:
+        _echo(f"error: cannot reach {args.url}: {exc}", err=True)
+        return 2
+    _echo(f"{'job':<10} {'state':<10} {'cells':>7} {'restored':>8} "
+          f"{'rows':>6} {'failures':>8}")
+    for job in jobs:
+        _echo(
+            f"{job['id']:<10} {job['state']:<10} "
+            f"{job['cells_done']:>3}/{job['cells_total']:<3} "
+            f"{job['cells_restored']:>8} {job['rows']:>6} "
+            f"{len(job['failures']):>8}"
+        )
+    _echo(
+        f"\nstore: {stats['files']} record(s), {stats['bytes']} bytes, "
+        f"{stats['hits']} hit(s) / {stats['misses']} miss(es) / "
+        f"{stats['puts']} put(s) this server"
+    )
+    return 0
 
 
 def _cmd_batch(args) -> int:
@@ -656,6 +775,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(p_swp)
     p_swp.set_defaults(func=_cmd_sweep)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the experiment service (sweeps over HTTP, backed by a "
+             "shared content-addressed result store)",
+    )
+    p_srv.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="result-store directory shared by every job (created if "
+             "missing; also usable as a `repro sweep --checkpoint` dir)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=8712,
+        help="TCP port (0 = pick an ephemeral port; default: 8712)",
+    )
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit",
+        help="submit a grid sweep to a running experiment service",
+    )
+    p_sub.add_argument(
+        "--url", default="http://127.0.0.1:8712",
+        help="service base URL (default: http://127.0.0.1:8712)",
+    )
+    p_sub.add_argument(
+        "--scenarios", nargs="+", default=None, metavar="NAME",
+        help="scenario subset (default: every registered scenario)",
+    )
+    p_sub.add_argument(
+        "--axis", type=_parse_axis, action="append", default=None,
+        metavar="FIELD=LO:HI:N",
+        help="parameter axis, repeatable (same syntax as `repro sweep`)",
+    )
+    p_sub.add_argument("--cases", type=int, default=8)
+    p_sub.add_argument("--horizon", type=int, default=50)
+    p_sub.add_argument("--seed", type=int, default=1)
+    p_sub.add_argument(
+        "--jobs", type=_job_count, default=1,
+        help="server-side worker processes for the dirty cells",
+    )
+    p_sub.add_argument(
+        "--engine", choices=("serial", "parallel", "lockstep"),
+        default="serial",
+        help="execution engine inside every grid cell",
+    )
+    p_sub.add_argument(
+        "--exact-solves", action="store_true", dest="exact_solves",
+        help="lockstep only: scalar MPC solves for record-for-record "
+             "parity with the serial engine",
+    )
+    _add_lp_backend_flag(p_sub)
+    _add_kernel_flags(p_sub)
+    p_sub.add_argument(
+        "--on-error", choices=("fail", "record", "retry"), default="fail",
+        dest="on_error",
+        help="server-side cell-failure policy (same as `repro sweep`)",
+    )
+    p_sub.add_argument(
+        "--telemetry", action="store_true",
+        help="run the job with full telemetry (embedded in the result "
+             "JSON fetched with --wait --out)",
+    )
+    p_sub.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes and report the restored/solved "
+             "split (exit 1 on failure)",
+    )
+    p_sub.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up waiting after this long (with --wait)",
+    )
+    p_sub.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="status poll interval (with --wait; default: 0.2)",
+    )
+    p_sub.add_argument(
+        "--out", default=None,
+        help="with --wait: write the finished sweep table to this path "
+             "(.csv for the flat table, else full-fidelity JSON)",
+    )
+    p_sub.set_defaults(func=_cmd_submit)
+
+    p_job = sub.add_parser(
+        "jobs", help="list a running experiment service's jobs + store stats"
+    )
+    p_job.add_argument(
+        "--url", default="http://127.0.0.1:8712",
+        help="service base URL (default: http://127.0.0.1:8712)",
+    )
+    p_job.set_defaults(func=_cmd_jobs)
 
     p_tel = sub.add_parser(
         "telemetry", help="render a saved telemetry snapshot"

@@ -31,6 +31,7 @@ from repro.experiments.result import (
     SweepResult,
 )
 from repro.experiments.runner import run_experiment, run_sweep
+from repro.experiments.serialization import plan_from_dict, plan_to_dict
 from repro.experiments.spec import AxisPoint, ExperimentSpec, ParameterAxis
 
 __all__ = [
@@ -48,4 +49,6 @@ __all__ = [
     "SweepResult",
     "run_experiment",
     "run_sweep",
+    "plan_from_dict",
+    "plan_to_dict",
 ]

@@ -1,108 +1,119 @@
 """Per-cell checkpoint spill/restore for resumable sweeps.
 
 ``run_sweep(checkpoint=dir)`` writes each completed
-:class:`~repro.experiments.result.CellResult` to its own JSON file the
-moment it streams out of the execution layer, and on restart loads the
-cells already on disk instead of re-solving them.  This is the stepping
-stone to the ROADMAP's content-addressed result store: the file name is
-derived from the cell's stable :class:`~repro.experiments.plan.GridCell`
-key, and a stored cell is only reused when its key *and* its full
-reproducibility config (cases, horizon, seed, engine, ...) match what
-the resuming sweep would compute — a stale or foreign file is silently
-re-solved, never trusted.
+:class:`~repro.experiments.result.CellResult` the moment it streams out
+of the execution layer, and on restart loads the cells already on disk
+instead of re-solving them.
 
-Writes are atomic (``os.replace`` of a same-directory temp file), so an
-interrupt mid-write leaves either the previous file or nothing — a
-half-written cell can never poison a resume.
+Since the experiment service landed, :class:`SweepCheckpoint` is a thin
+client of the content-addressed
+:class:`~repro.service.store.ResultStore`: spill files *are* store
+records (versioned envelope, sha256-of-(key, config) addressing, atomic
+``mkstemp`` + ``os.replace`` writes), so a checkpoint directory and a
+service job's store are interchangeable — a sweep checkpointed into the
+service store seeds every later job that plans the same cells, and vice
+versa.  A stored cell is only reused when its stable grid key *and* its
+full reproducibility config (cases, horizon, seed, engine, overrides,
+...) match what the resuming sweep would compute — a stale, foreign, or
+old-format file is re-solved, never trusted.
+
+Skips are observable: a corrupt record or one whose envelope mismatches
+(format version, tampered key/config) logs a warning and counts as
+``checkpoint_files_skipped_total{reason=corrupt|mismatch}`` in the
+ambient :mod:`repro.observability` registry.  A plain absent record is
+the normal cold miss and is not a "skip".
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import re
-import tempfile
+import logging
 from typing import Optional
 
-from repro.experiments.result import CellResult, cell_from_dict, cell_to_dict
+from repro.experiments.result import CellResult
 
 __all__ = ["SweepCheckpoint"]
 
-_SUFFIX = ".cell.json"
+logger = logging.getLogger(__name__)
 
-
-def _slug(key: str) -> str:
-    """A filesystem-safe, collision-free file stem for a cell key.
-
-    The readable prefix keeps directories human-browsable; the hash
-    suffix guarantees distinct keys never collide after sanitisation.
-    """
-    safe = re.sub(r"[^A-Za-z0-9._=@-]+", "_", key)[:80]
-    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:12]
-    return f"{safe}-{digest}"
+#: :meth:`ResultStore.lookup` reasons surfaced as warned-and-counted
+#: checkpoint skips, and the ``reason`` label each maps onto.
+_SKIP_REASONS = {
+    "corrupt": "corrupt",
+    "format": "mismatch",
+    "key": "mismatch",
+    "config": "mismatch",
+}
 
 
 class SweepCheckpoint:
-    """A directory of per-cell JSON spills keyed by stable cell keys.
+    """A directory of per-cell spills, backed by a result store.
 
     Args:
-        directory: Checkpoint directory; created if missing.
+        directory: Checkpoint directory (created if missing), or an
+            existing :class:`~repro.service.store.ResultStore` to share
+            — the service's :class:`~repro.service.jobs.JobManager`
+            passes its store here so checkpointed sweeps and service
+            jobs read and write one cache.
     """
 
-    def __init__(self, directory: str):
-        self.directory = str(directory)
-        os.makedirs(self.directory, exist_ok=True)
+    def __init__(self, directory):
+        # Imported here so ``repro.experiments`` never hard-depends on
+        # the service package at import time (the store itself only
+        # needs ``repro.experiments.result``).
+        from repro.service.store import ResultStore
 
-    def path_for(self, key: str) -> str:
-        """The spill path of the cell with stable key ``key``."""
-        return os.path.join(self.directory, _slug(key) + _SUFFIX)
+        if isinstance(directory, ResultStore):
+            self.store = directory
+        else:
+            self.store = ResultStore(directory)
 
-    def store(self, result: CellResult) -> str:
-        """Atomically write ``result``'s full-fidelity JSON; returns the
-        final path.  Safe to call from the ``on_result`` stream — each
-        cell is its own file, so partial sweeps checkpoint incrementally.
+    @property
+    def directory(self) -> str:
+        """The backing store directory."""
+        return self.store.directory
+
+    def path_for(self, key: str, config: dict) -> str:
+        """The spill path of cell ``key`` under config ``config``."""
+        return self.store.path_for(key, config)
+
+    def store_cell(self, result: CellResult) -> str:
+        """Atomically write ``result``'s full-fidelity record; returns
+        the final path.  Safe to call from the ``on_result`` stream —
+        each cell is its own record, so partial sweeps checkpoint
+        incrementally."""
+        return self.store.put(result)
+
+    def load(
+        self, key: str, expected_config: dict
+    ) -> Optional[CellResult]:
+        """The stored cell for ``(key, expected_config)``, or ``None``
+        when it must be (re-)solved.
+
+        ``None`` is returned — never an exception — for a missing
+        record, unparseable JSON, an envelope format-version mismatch,
+        or an envelope whose key/config disagree with the address: a
+        checkpoint written under different settings must not leak into
+        this sweep's results.  Corrupt and mismatched records warn and
+        count (see the module docstring); plain absence is silent.
+
+        Counts a store hit or miss either way, so store-level hit/miss
+        telemetry covers checkpointed sweeps too.
         """
-        path = self.path_for(result.key)
-        fd, tmp_path = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=_SUFFIX
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(cell_to_dict(result), handle)
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
-        return path
+        from repro.observability import metrics as _obs
 
-    def load(self, key: str, expected_config: Optional[dict] = None
-             ) -> Optional[CellResult]:
-        """The stored cell for ``key``, or ``None`` when it must be
-        (re-)solved.
-
-        ``None`` is returned — never an exception — for a missing file,
-        unparseable JSON, a key mismatch (hash-prefix collision or a
-        renamed cell), or, when ``expected_config`` is given, any
-        difference in the reproducibility config: a checkpoint written
-        under different cases/horizon/seed/engine settings must not leak
-        into this sweep's results.
-        """
-        path = self.path_for(key)
-        try:
-            with open(path) as handle:
-                payload = json.load(handle)
-            cell = cell_from_dict(payload)
-        except (OSError, ValueError, KeyError, TypeError):
-            return None
-        if cell.key != key:
-            return None
-        if expected_config is not None and cell.config != expected_config:
-            return None
-        return cell
+        cell, reason = self.store.get_with_reason(key, expected_config)
+        if cell is not None:
+            return cell
+        skip = _SKIP_REASONS.get(reason)
+        if skip is not None:
+            logger.warning(
+                "checkpoint: skipping unusable record for cell %r "
+                "(%s; re-solving)", key, reason,
+            )
+            _obs.registry().inc(
+                "checkpoint_files_skipped_total", reason=skip
+            )
+        return None
 
     def __repr__(self) -> str:
         return f"SweepCheckpoint({self.directory!r})"

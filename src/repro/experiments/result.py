@@ -345,6 +345,7 @@ class SweepResult:
         rows: Optional[List[dict]] = None,
         telemetry: Optional[dict] = None,
         failures: Optional[List[CellFailure]] = None,
+        restored: Optional[List[str]] = None,
     ):
         self.cells: List[CellResult] = list(cells)
         if rows is None:
@@ -356,6 +357,12 @@ class SweepResult:
         #: Cells that could not be evaluated (``on_error="record"`` /
         #: ``"retry"``), in grid order; empty on a clean sweep.
         self.failures: List[CellFailure] = list(failures or [])
+        #: Keys of cells served from a checkpoint/result store instead
+        #: of being solved in this run, in grid order.  Empty on an
+        #: uncached sweep — and excluded from equality-of-results
+        #: comparisons, since *where* a cell came from is provenance,
+        #: not data.
+        self.restored: List[str] = list(restored or [])
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -443,21 +450,20 @@ class SweepResult:
             ]
         return cls(cells=[], rows=rows)
 
-    def to_json(self, path: str) -> None:
-        """Write full-fidelity cells (per-case arrays included)."""
-        payload = {
+    def to_payload(self) -> dict:
+        """The full-fidelity JSON-safe dict (per-case arrays included)
+        behind :meth:`to_json` — also what the experiment service's
+        ``GET /v1/sweeps/{id}/result`` returns."""
+        return {
             "cells": [cell_to_dict(cell) for cell in self.cells],
             "telemetry": self.telemetry,
             "failures": [failure.to_dict() for failure in self.failures],
+            "restored": list(self.restored),
         }
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=2)
 
     @classmethod
-    def from_json(cls, path: str) -> "SweepResult":
-        """Rebuild cells (and hence rows) from :meth:`to_json` output."""
-        with open(path) as handle:
-            payload = json.load(handle)
+    def from_payload(cls, payload: dict) -> "SweepResult":
+        """Inverse of :meth:`to_payload`."""
         cells = [cell_from_dict(entry) for entry in payload["cells"]]
         failures = [
             CellFailure.from_dict(entry)
@@ -467,7 +473,20 @@ class SweepResult:
             cells=cells,
             telemetry=payload.get("telemetry"),
             failures=failures,
+            restored=payload.get("restored"),
         )
+
+    def to_json(self, path: str) -> None:
+        """Write full-fidelity cells (per-case arrays included)."""
+        with open(path, "w") as handle:
+            json.dump(self.to_payload(), handle, indent=2)
+
+    @classmethod
+    def from_json(cls, path: str) -> "SweepResult":
+        """Rebuild cells (and hence rows) from :meth:`to_json` output."""
+        with open(path) as handle:
+            payload = json.load(handle)
+        return cls.from_payload(payload)
 
 
 def _parse_csv_field(column: str, value: str):

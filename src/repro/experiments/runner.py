@@ -387,10 +387,17 @@ def _finalize(
     )
 
 
-def _cell_config(spec: ExperimentSpec, execution: ExecutionConfig) -> dict:
+def _cell_config(cell: GridCell, execution: ExecutionConfig) -> dict:
     """A cell's reproducibility config — the dict stored on
-    :class:`CellResult` and compared by the checkpoint before a stored
-    cell may substitute for a re-solve."""
+    :class:`CellResult` and hashed into the result-store address before
+    a stored cell may substitute for a re-solve.
+
+    The full override stack (base-spec overrides + axis points) is
+    included via ``repr`` so an edited experiment — same label, changed
+    override value — mismatches its old stored records and re-solves,
+    while every untouched cell of the grid still hits the store.
+    """
+    spec = cell.experiment
     return {
         "cases": spec.num_cases,
         "horizon": spec.horizon,
@@ -402,6 +409,7 @@ def _cell_config(spec: ExperimentSpec, execution: ExecutionConfig) -> dict:
         "collect_timing": execution.collect_timing,
         "kernel": execution.kernel,
         "pattern": spec.pattern,
+        "overrides": [[key, repr(value)] for key, value in cell.overrides],
     }
 
 
@@ -459,7 +467,7 @@ def _evaluate_cell(
         key=cell.key,
         scenario=spec.display_label,
         coords=cell.coords,
-        config=_cell_config(spec, execution),
+        config=_cell_config(cell, execution),
         approaches={
             name: _finalize(
                 collected[name], workload.metric_names,
@@ -615,6 +623,7 @@ def run_sweep(
     execution: Optional[ExecutionConfig] = None,
     on_cell: Optional[Callable[[CellResult], None]] = None,
     checkpoint=None,
+    on_restored: Optional[Callable[[CellResult], None]] = None,
 ) -> SweepResult:
     """Execute a sweep plan's full grid, sharding cells over workers.
 
@@ -661,14 +670,24 @@ def run_sweep(
         on_cell: Optional progress callback, invoked once per completed
             cell (completion order under sharding, grid order otherwise;
             not invoked for checkpoint-restored or failed cells).
-        checkpoint: Optional directory path (or
-            :class:`~repro.experiments.checkpoint.SweepCheckpoint`) for
+        checkpoint: Optional directory path,
+            :class:`~repro.experiments.checkpoint.SweepCheckpoint`, or
+            shared :class:`~repro.service.store.ResultStore` for
             resumable execution: each completed cell spills its JSON
             there the moment it finishes, and on restart cells already
             on disk — same stable key, same reproducibility config — are
             loaded instead of re-solved.  An interrupted sweep resumed
             this way re-solves only the missing/failed cells and returns
-            the identical :class:`SweepResult`.
+            the identical :class:`SweepResult`.  The restored-vs-solved
+            split is logged, surfaced as ``SweepResult.restored``, and
+            counted (``sweep_cells_restored_total`` /
+            ``sweep_cells_solved_total`` — excluded from the
+            deterministic telemetry view, like every persistence
+            counter).
+        on_restored: Optional callback, invoked once per
+            checkpoint-restored cell (in grid order, before any pending
+            cell executes) — the service's job feed uses it to serve
+            store-hits immediately.
 
     Returns:
         A :class:`~repro.experiments.result.SweepResult` with cells in
@@ -690,9 +709,7 @@ def run_sweep(
             else SweepCheckpoint(checkpoint)
         )
         for cell in cells:
-            prior = store.load(
-                cell.key, _cell_config(cell.experiment, execution)
-            )
+            prior = store.load(cell.key, _cell_config(cell, execution))
             if prior is not None:
                 loaded[cell.key] = prior
         if loaded:
@@ -700,6 +717,10 @@ def run_sweep(
                 "sweep: restored %d/%d cells from checkpoint %s",
                 len(loaded), len(cells), store.directory,
             )
+        if on_restored is not None:
+            for cell in cells:
+                if cell.key in loaded:
+                    on_restored(loaded[cell.key])
     pending = [cell for cell in cells if cell.key not in loaded]
 
     sharded = (
@@ -720,7 +741,7 @@ def run_sweep(
         if not isinstance(outcome, CellResult):
             return
         if store is not None:
-            store.store(outcome)
+            store.store_cell(outcome)
         if on_cell is not None:
             on_cell(outcome)
 
@@ -810,6 +831,18 @@ def run_sweep(
                 else:
                     results.append(outcome)
                     sweep_reg.merge_snapshot(snap)
+            if store is not None:
+                # The restored-vs-solved split (persistence metrics,
+                # excluded from the deterministic view): how much of
+                # this grid the store served vs how much this run
+                # actually solved.
+                if loaded:
+                    sweep_reg.inc(
+                        "sweep_cells_restored_total", len(loaded)
+                    )
+                solved = len(results) - len(loaded)
+                if solved:
+                    sweep_reg.inc("sweep_cells_solved_total", solved)
         sweep_snapshot = sweep_reg.snapshot() if telemetry_on else None
     if telemetry_on:
         _obs.registry().merge_snapshot(sweep_snapshot)
@@ -820,5 +853,6 @@ def run_sweep(
             ", ".join(f.key for f in failures),
         )
     return SweepResult(
-        results, telemetry=sweep_snapshot, failures=failures
+        results, telemetry=sweep_snapshot, failures=failures,
+        restored=[cell.key for cell in cells if cell.key in loaded],
     )

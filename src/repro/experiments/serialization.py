@@ -1,0 +1,189 @@
+"""JSON-safe (de)serialisation of sweep plans.
+
+The experiment service accepts a :class:`~repro.experiments.plan.SweepPlan`
+over the wire as JSON (``POST /v1/sweeps``), so the declarative planning
+layer needs an explicit serial form.  Only *declarative* plans serialise:
+experiments must target registry scenario names (inline ``ScenarioSpec``
+or pre-built case studies do not round-trip) and ``policies`` must be
+``None`` (policy objects are programmatic, not data).  Such plans can
+still be submitted in-process via
+:meth:`repro.service.jobs.JobManager.submit_plan`.
+
+Round-trip contract: ``plan_from_dict(plan_to_dict(plan))`` produces a
+plan whose grid cells have identical stable keys *and* identical
+reproducibility configs (:func:`~repro.experiments.runner._cell_config`)
+— the property the content-addressed result store keys on, so a plan
+submitted over HTTP hits exactly the store records an in-process sweep
+of the same plan would write.  To keep ``repr``-based config rendering
+stable across the JSON hop, tuples in override/axis values are restored
+from JSON lists on load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.execution import ExecutionConfig
+from repro.experiments.plan import SweepPlan
+from repro.experiments.spec import ExperimentSpec, ParameterAxis
+
+__all__ = [
+    "PLAN_FORMAT",
+    "plan_to_dict",
+    "plan_from_dict",
+    "execution_to_dict",
+    "execution_from_dict",
+]
+
+#: Plan-payload format version; bump on any layout change so a stale
+#: client fails loudly instead of mis-deserialising.
+PLAN_FORMAT = 1
+
+
+def _untuple(value):
+    """Tuples → lists, recursively (the JSON-encodable rendering)."""
+    if isinstance(value, (tuple, list)):
+        return [_untuple(entry) for entry in value]
+    return value
+
+
+def _retuple(value):
+    """JSON lists → tuples, recursively.
+
+    Python-side plans conventionally hold tuples (``vf_range=(0, 5)``,
+    axis ``values``); JSON flattens both to arrays.  Restoring tuples
+    keeps ``repr``-rendered override values — part of every cell's
+    store address — identical across the wire.
+    """
+    if isinstance(value, (tuple, list)):
+        return tuple(_retuple(entry) for entry in value)
+    return value
+
+
+def execution_to_dict(execution: ExecutionConfig) -> dict:
+    """An :class:`ExecutionConfig` as a JSON-safe dict (all fields)."""
+    return dataclasses.asdict(execution)
+
+
+def execution_from_dict(payload: dict) -> ExecutionConfig:
+    """Inverse of :func:`execution_to_dict`; unknown keys are an error."""
+    fields = {field.name for field in dataclasses.fields(ExecutionConfig)}
+    unknown = sorted(set(payload) - fields)
+    if unknown:
+        raise ValueError(f"unknown execution fields: {unknown}")
+    return ExecutionConfig(**payload)
+
+
+def _spec_to_dict(spec: ExperimentSpec) -> dict:
+    if not isinstance(spec.scenario, str):
+        raise ValueError(
+            f"experiment {spec.display_label!r}: only registry-name "
+            "scenarios serialise; inline ScenarioSpec/CaseStudy "
+            "experiments must run in-process"
+        )
+    if spec.policies is not None:
+        raise ValueError(
+            f"experiment {spec.display_label!r}: policies are "
+            "programmatic objects and do not serialise; submit the plan "
+            "in-process instead"
+        )
+    return {
+        "scenario": spec.scenario,
+        "approaches": (
+            None if spec.approaches is None else list(spec.approaches)
+        ),
+        "num_cases": spec.num_cases,
+        "horizon": spec.horizon,
+        "seed": spec.seed,
+        "memory_length": spec.memory_length,
+        "pattern": spec.pattern,
+        "overrides": [
+            [key, _untuple(value)] for key, value in spec.overrides
+        ],
+        "label": spec.label,
+    }
+
+
+def _spec_from_dict(payload: dict) -> ExperimentSpec:
+    return ExperimentSpec(
+        scenario=payload["scenario"],
+        approaches=(
+            None
+            if payload.get("approaches") is None
+            else tuple(payload["approaches"])
+        ),
+        num_cases=int(payload.get("num_cases", 8)),
+        horizon=int(payload.get("horizon", 50)),
+        seed=int(payload.get("seed", 1)),
+        memory_length=int(payload.get("memory_length", 1)),
+        pattern=payload.get("pattern"),
+        overrides=tuple(
+            (key, _retuple(value))
+            for key, value in payload.get("overrides", ())
+        ),
+        label=payload.get("label"),
+    )
+
+
+def _axis_to_dict(axis: ParameterAxis) -> dict:
+    return {
+        "name": axis.name,
+        "values": [_untuple(value) for value in axis.values],
+        "field": axis.field,
+        "labels": None if axis.labels is None else list(axis.labels),
+    }
+
+
+def _axis_from_dict(payload: dict) -> ParameterAxis:
+    return ParameterAxis(
+        name=payload["name"],
+        values=tuple(_retuple(value) for value in payload["values"]),
+        field=payload.get("field"),
+        labels=(
+            None
+            if payload.get("labels") is None
+            else tuple(payload["labels"])
+        ),
+    )
+
+
+def plan_to_dict(plan: SweepPlan) -> dict:
+    """A :class:`SweepPlan` as the versioned JSON-safe service payload.
+
+    Raises:
+        ValueError: When the plan is not declarative (inline
+            scenario/case-study experiments, or policy objects).
+    """
+    return {
+        "format": PLAN_FORMAT,
+        "experiments": [
+            _spec_to_dict(spec) for spec in plan.experiments
+        ],
+        "axes": [_axis_to_dict(axis) for axis in plan.axes],
+        "execution": execution_to_dict(plan.execution),
+    }
+
+
+def plan_from_dict(payload: dict) -> SweepPlan:
+    """Inverse of :func:`plan_to_dict` (validates the format version)."""
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"plan payload must be an object, got {type(payload).__name__}"
+        )
+    fmt = payload.get("format", PLAN_FORMAT)
+    if fmt != PLAN_FORMAT:
+        raise ValueError(
+            f"unsupported plan format {fmt!r} (this build speaks "
+            f"{PLAN_FORMAT})"
+        )
+    if "experiments" not in payload or not payload["experiments"]:
+        raise ValueError("plan payload needs at least one experiment")
+    return SweepPlan(
+        experiments=tuple(
+            _spec_from_dict(entry) for entry in payload["experiments"]
+        ),
+        axes=tuple(
+            _axis_from_dict(entry) for entry in payload.get("axes", ())
+        ),
+        execution=execution_from_dict(payload.get("execution", {})),
+    )

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import math
 from contextlib import contextmanager, nullcontext
+from contextvars import ContextVar
 from typing import Dict, Iterable, Optional, Tuple
 
 from .trace import RunTrace
@@ -62,6 +63,7 @@ __all__ = [
     "scoped_registry",
     "deterministic_view",
     "FAULT_RECOVERY_METRICS",
+    "PERSISTENCE_METRICS",
     "render_prometheus",
     "render_table",
 ]
@@ -78,6 +80,18 @@ TIMING_MARKERS = ("_seconds", "_ms")
 FAULT_RECOVERY_METRICS = frozenset(
     {"worker_respawns_total", "sweep_cell_failures_total",
      "cell_retries_total"}
+)
+
+#: Persistence bookkeeping counters (result store / checkpoint traffic,
+#: restored-vs-solved splits, service job states).  Like the
+#: fault-recovery counters they describe how a result was *obtained* —
+#: served from the store vs re-solved — not the result itself, so a
+#: warm-store sweep must still equal an uncached one in the
+#: deterministic view.
+PERSISTENCE_METRICS = frozenset(
+    {"result_store_events_total", "checkpoint_files_skipped_total",
+     "sweep_cells_restored_total", "sweep_cells_solved_total",
+     "service_jobs_total"}
 )
 
 #: Default histogram bucket upper bounds (powers of two — sized for
@@ -104,6 +118,7 @@ def deterministic_view(snapshot: dict) -> dict:
             for name, entries in snapshot.get(family, {}).items()
             if not any(marker in name for marker in TIMING_MARKERS)
             and name not in FAULT_RECOVERY_METRICS
+            and name not in PERSISTENCE_METRICS
         }
         for family in ("counters", "gauges", "histograms")
     }
@@ -307,38 +322,55 @@ class MetricsRegistry:
 
 
 # ----------------------------------------------------------------------
-# Ambient registry (module global, swapped by scoped_registry)
+# Ambient registry (context-local, swapped by scoped_registry)
 # ----------------------------------------------------------------------
-_REGISTRY = MetricsRegistry(enabled=False)
+# One process-wide default registry, with scopes tracked per execution
+# context (a ContextVar, so per thread): every thread that has not
+# entered a scope reads the same shared default, while a scope entered
+# in one thread — a cell running on the service's job-executor thread,
+# say — is invisible to every other.  A plain module global swapped in
+# place would be corrupted by interleaved scope enter/exit across
+# threads (thread A's ``finally`` restoring over thread B's swap),
+# which can strand an *enabled* per-cell registry as the process
+# ambient.  ContextVars also survive ``fork``: a forked worker's main
+# thread continues with the forking thread's context, so in-worker
+# scopes behave exactly as before.
+_DEFAULT_REGISTRY = MetricsRegistry(enabled=False)
+_REGISTRY_VAR: "ContextVar[MetricsRegistry]" = ContextVar(
+    "repro_metrics_registry", default=_DEFAULT_REGISTRY
+)
 
 
 def registry() -> MetricsRegistry:
     """The ambient registry — always exists; structural counters record
     into it unconditionally."""
-    return _REGISTRY
+    return _REGISTRY_VAR.get()
 
 
 def active() -> Optional[MetricsRegistry]:
     """The ambient registry iff telemetry is enabled, else ``None`` —
     the hot-path guard (``reg = active()`` … ``if reg is not None``)."""
-    return _REGISTRY if _REGISTRY.enabled else None
+    reg = _REGISTRY_VAR.get()
+    return reg if reg.enabled else None
 
 
 def enable_telemetry() -> MetricsRegistry:
     """Turn on the hot-path tier (spans, stage folding) globally."""
-    _REGISTRY.enabled = True
-    return _REGISTRY
+    reg = _REGISTRY_VAR.get()
+    reg.enabled = True
+    return reg
 
 
 def disable_telemetry() -> MetricsRegistry:
     """Turn the hot-path tier back off (counters keep recording)."""
-    _REGISTRY.enabled = False
-    return _REGISTRY
+    reg = _REGISTRY_VAR.get()
+    reg.enabled = False
+    return reg
 
 
 def telemetry_enabled() -> bool:
     """Whether the ambient registry's hot-path tier is on."""
-    return _REGISTRY.enabled
+    return _REGISTRY_VAR.get().enabled
 
 
 @contextmanager
@@ -351,19 +383,22 @@ def scoped_registry(enabled: Optional[bool] = None):
     back in deterministic grid order — the mechanism behind the
     ``jobs=k`` ≡ ``jobs=1`` snapshot contract.
 
+    The scope is context-local: concurrent threads (e.g. the service's
+    job executor and its HTTP handlers) each see their own scopes, and
+    a thread with no scope open reads the shared process default.
+
     Args:
         enabled: Override the hot-path flag for the scope; by default
             the fresh registry inherits the current registry's flag.
     """
-    global _REGISTRY
-    parent = _REGISTRY
-    _REGISTRY = MetricsRegistry(
-        enabled=parent.enabled if enabled is None else enabled
+    parent = _REGISTRY_VAR.get()
+    token = _REGISTRY_VAR.set(
+        MetricsRegistry(enabled=parent.enabled if enabled is None else enabled)
     )
     try:
-        yield _REGISTRY
+        yield _REGISTRY_VAR.get()
     finally:
-        _REGISTRY = parent
+        _REGISTRY_VAR.reset(token)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,34 @@
+"""The experiment service: sweeps behind an API, results behind a store.
+
+Three layers over the declarative :mod:`repro.experiments` machinery:
+
+* :mod:`repro.service.store` — a content-addressed
+  :class:`~repro.service.store.ResultStore` of full-fidelity
+  ``CellResult`` records, shared by checkpointed sweeps and service
+  jobs alike (``SweepCheckpoint`` is a thin client of it);
+* :mod:`repro.service.jobs` — a :class:`~repro.service.jobs.JobManager`
+  that partitions each submitted grid into store-hits and dirty cells,
+  executes only the dirty ones, and reassembles results byte-identical
+  to an uncached in-process ``run_sweep``;
+* :mod:`repro.service.api` / :mod:`repro.service.client` — a
+  stdlib-only JSON HTTP front (``repro serve``) and its client
+  (``repro submit`` / ``repro jobs``).
+"""
+
+from repro.service.api import ServiceServer, serve
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobCancelled, JobManager
+from repro.service.store import MISS_REASONS, STORE_FORMAT, ResultStore
+
+__all__ = [
+    "Job",
+    "JobCancelled",
+    "JobManager",
+    "MISS_REASONS",
+    "ResultStore",
+    "STORE_FORMAT",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "serve",
+]

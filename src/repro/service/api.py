@@ -1,0 +1,208 @@
+"""Stdlib-only HTTP front of the experiment service.
+
+A thin JSON layer over :class:`~repro.service.jobs.JobManager` — no
+framework, no third-party dependency, just
+:class:`http.server.ThreadingHTTPServer`:
+
+====== ============================== ===================================
+Method Path                           Meaning
+====== ============================== ===================================
+POST   ``/v1/sweeps``                 Submit a plan payload → ``202`` +
+                                      job status (``id`` inside).
+GET    ``/v1/sweeps``                 All jobs' statuses, submit order.
+GET    ``/v1/sweeps/{id}``            One job's status + progress.
+GET    ``/v1/sweeps/{id}/rows``       Completed rows from ``?cursor=N``
+                                      (poll-from-cursor streaming).
+GET    ``/v1/sweeps/{id}/result``     Full ``SweepResult`` payload
+                                      (``409`` until the job is done).
+POST   ``/v1/sweeps/{id}/cancel``     Request cancellation.
+GET    ``/v1/store/stats``            Shared result-store statistics.
+GET    ``/v1/health``                 Liveness probe.
+====== ============================== ===================================
+
+Responses are always JSON; errors are ``{"error": "..."}`` with a 4xx
+status.  The handler threads only read job state through each job's
+lock — execution stays on the manager's single executor thread — so a
+slow poller can never block a sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.jobs import JobManager
+
+__all__ = ["ServiceServer", "serve"]
+
+logger = logging.getLogger(__name__)
+
+#: Submission payloads larger than this are rejected outright (a plan
+#: is a few KB of declarative JSON; anything bigger is a client bug).
+_MAX_BODY = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        logger.debug("service: %s", format % args)
+
+    def _send(self, status: int, payload) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length", 0))
+        if length > _MAX_BODY:
+            raise ValueError(f"request body over {_MAX_BODY} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw or b"null")
+        except ValueError:
+            raise ValueError("request body is not valid JSON") from None
+
+    def _job(self, job_id: str):
+        try:
+            return self.manager.get(job_id)
+        except KeyError:
+            self._error(404, f"unknown job {job_id!r}")
+            return None
+
+    # -- routing -------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["v1", "health"]:
+                self._send(200, {"status": "ok"})
+            elif parts == ["v1", "store", "stats"]:
+                self._send(200, self.manager.store.stats())
+            elif parts == ["v1", "sweeps"]:
+                self._send(
+                    200,
+                    {"jobs": [job.status() for job in self.manager.jobs()]},
+                )
+            elif len(parts) == 3 and parts[:2] == ["v1", "sweeps"]:
+                job = self._job(parts[2])
+                if job is not None:
+                    self._send(200, job.status())
+            elif (
+                len(parts) == 4
+                and parts[:2] == ["v1", "sweeps"]
+                and parts[3] in ("rows", "result")
+            ):
+                job = self._job(parts[2])
+                if job is None:
+                    return
+                if parts[3] == "rows":
+                    query = parse_qs(url.query)
+                    cursor = int(query.get("cursor", ["0"])[0])
+                    rows, new_cursor = job.rows_since(cursor)
+                    self._send(
+                        200,
+                        {
+                            "rows": rows,
+                            "cursor": new_cursor,
+                            "state": job.state,
+                        },
+                    )
+                elif job.state != "done":
+                    self._error(
+                        409,
+                        f"job {job.id} is {job.state}; the result exists "
+                        "only once it is done",
+                    )
+                else:
+                    self._send(200, job.result.to_payload())
+            else:
+                self._error(404, f"no route for GET {url.path}")
+        except Exception as exc:  # noqa: BLE001 — handler isolation
+            logger.exception("service: GET %s failed", self.path)
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["v1", "sweeps"]:
+                try:
+                    payload = self._read_json()
+                    job = self.manager.submit(payload)
+                except (ValueError, RuntimeError) as exc:
+                    self._error(400, str(exc))
+                    return
+                self._send(202, job.status())
+            elif (
+                len(parts) == 4
+                and parts[:2] == ["v1", "sweeps"]
+                and parts[3] == "cancel"
+            ):
+                job = self._job(parts[2])
+                if job is not None:
+                    cancelled = job.cancel()
+                    self._send(
+                        200, {"cancelled": cancelled, **job.status()}
+                    )
+            else:
+                self._error(404, f"no route for POST {url.path}")
+        except Exception as exc:  # noqa: BLE001 — handler isolation
+            logger.exception("service: POST %s failed", self.path)
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The experiment service's HTTP server, bound to one job manager.
+
+    Args:
+        manager: The job manager (and hence store) to expose.
+        host: Bind address.
+        port: TCP port; 0 picks an ephemeral port (read :attr:`port`).
+    """
+
+    daemon_threads = True
+
+    def __init__(self, manager: JobManager, host: str = "127.0.0.1",
+                 port: int = 0):
+        super().__init__((host, port), _Handler)
+        self.manager = manager
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server."""
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving and shut the job executor down."""
+        self.shutdown()
+        self.server_close()
+        self.manager.shutdown()
+
+
+def serve(store, host: str = "127.0.0.1", port: int = 0) -> ServiceServer:
+    """Build a server over ``store`` (a directory or ``ResultStore``).
+
+    The caller drives it: ``serve_forever()`` to block (the CLI), or a
+    background thread + :meth:`ServiceServer.close` (the tests).
+    """
+    return ServiceServer(JobManager(store), host=host, port=port)

@@ -1,0 +1,142 @@
+"""Stdlib HTTP client for the experiment service.
+
+:class:`ServiceClient` wraps the JSON routes of
+:mod:`repro.service.api` with typed helpers — submit a
+:class:`~repro.experiments.plan.SweepPlan` (or a raw plan payload),
+poll status/rows, fetch the finished
+:class:`~repro.experiments.result.SweepResult` — using nothing beyond
+``urllib.request``, so tests and the CLI need no extra dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import List, Optional, Tuple
+
+from repro.experiments.plan import SweepPlan
+from repro.experiments.result import SweepResult
+from repro.experiments.serialization import plan_to_dict
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service (payload message + status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """A client bound to one service base URL.
+
+    Args:
+        base_url: e.g. ``"http://127.0.0.1:8123"`` (no trailing slash
+            required).
+        timeout: Per-request socket timeout [s].
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get(
+                    "error", exc.reason
+                )
+            except ValueError:
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from None
+
+    # -- API -----------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /v1/health``."""
+        return self._request("GET", "/v1/health")
+
+    def submit(self, plan) -> str:
+        """Submit a plan; returns the job id.
+
+        Args:
+            plan: A :class:`SweepPlan` (serialised via
+                :func:`~repro.experiments.serialization.plan_to_dict`)
+                or an already-serial plan payload dict.
+        """
+        payload = (
+            plan_to_dict(plan) if isinstance(plan, SweepPlan) else plan
+        )
+        return self._request("POST", "/v1/sweeps", payload)["id"]
+
+    def status(self, job_id: str) -> dict:
+        """``GET /v1/sweeps/{id}`` — the job's status snapshot."""
+        return self._request("GET", f"/v1/sweeps/{job_id}")
+
+    def jobs(self) -> List[dict]:
+        """``GET /v1/sweeps`` — every job's status, submit order."""
+        return self._request("GET", "/v1/sweeps")["jobs"]
+
+    def rows(
+        self, job_id: str, cursor: int = 0
+    ) -> Tuple[List[dict], int, str]:
+        """``GET /v1/sweeps/{id}/rows?cursor=N`` →
+        ``(new_rows, next_cursor, state)``."""
+        payload = self._request(
+            "GET", f"/v1/sweeps/{job_id}/rows?cursor={int(cursor)}"
+        )
+        return payload["rows"], payload["cursor"], payload["state"]
+
+    def result(self, job_id: str) -> SweepResult:
+        """``GET /v1/sweeps/{id}/result`` as a :class:`SweepResult`
+        (raises :class:`ServiceError` 409 until the job is done)."""
+        payload = self._request("GET", f"/v1/sweeps/{job_id}/result")
+        return SweepResult.from_payload(payload)
+
+    def cancel(self, job_id: str) -> dict:
+        """``POST /v1/sweeps/{id}/cancel``."""
+        return self._request("POST", f"/v1/sweeps/{job_id}/cancel")
+
+    def store_stats(self) -> dict:
+        """``GET /v1/store/stats``."""
+        return self._request("GET", "/v1/store/stats")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll: float = 0.1,
+    ) -> dict:
+        """Poll until the job is terminal; returns its final status.
+
+        Raises:
+            TimeoutError: Still running after ``timeout`` seconds.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,338 @@
+"""Content-addressed result store — the persistence layer of the
+experiment service.
+
+Every grid cell of a sweep is already a pure function of its stable
+:class:`~repro.experiments.plan.GridCell` key plus its reproducibility
+config (cases, horizon, seed, engine tier, overrides, ...).  The
+:class:`ResultStore` exploits that: a cell record's address is the
+sha256 of *(key, canonical-config-JSON)*, so any job — a checkpointed
+``run_sweep``, a service job, a later resubmission of an edited grid —
+that would compute the identical cell finds the stored
+:class:`~repro.experiments.result.CellResult` instead and serves it
+without re-solving.  Incremental sweeps fall out for free: resubmitting
+a 1000-cell grid with one edited scenario mismatches only the edited
+cells' addresses.
+
+Records are single JSON files in one flat directory, each wrapped in a
+versioned envelope::
+
+    {"format": 1, "key": "<grid key>", "config": {...}, "cell": {...}}
+
+``format`` (:data:`STORE_FORMAT`) lets future layout changes invalidate
+cleanly — an old-format record reads as a *miss* (and re-solving then
+overwrites it) instead of mis-deserialising.  Writes are atomic
+(``mkstemp`` + ``os.replace`` in the same directory), so concurrent
+writers of one address are last-write-wins and a reader can never see a
+torn record; an interrupt mid-write leaves the previous record or
+nothing.
+
+Observability: every probe and write records into the ambient
+:mod:`repro.observability` registry as
+``result_store_events_total{event=hit|miss|put|evict, reason=...}``.
+These are operational counters (*how* a result was obtained, never what
+it contains) and are excluded from the deterministic telemetry view.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import re
+import tempfile
+import time
+from typing import List, Optional, Tuple
+
+from repro.experiments.result import CellResult, cell_from_dict, cell_to_dict
+from repro.observability import metrics as _obs
+
+__all__ = ["ResultStore", "STORE_FORMAT", "MISS_REASONS"]
+
+#: Cell-record envelope format version.  Bump on any change to the
+#: envelope layout or to the semantics of the stored cell payload; a
+#: record with any other version is a miss (``reason="format"``).
+STORE_FORMAT = 1
+
+#: Everything :meth:`ResultStore.lookup` can answer besides ``"hit"``.
+#: ``absent``  — no record at the address (the normal cold miss);
+#: ``corrupt`` — unreadable/unparseable record file;
+#: ``format``  — envelope from another :data:`STORE_FORMAT` version;
+#: ``key``/``config`` — envelope disagrees with the requested address
+#: (tampering or a hash-prefix collision — never trusted).
+MISS_REASONS = ("absent", "corrupt", "format", "key", "config")
+
+_SUFFIX = ".cell.json"
+
+logger = logging.getLogger(__name__)
+
+
+def canonical_config(config: dict) -> str:
+    """The canonical JSON rendering of a reproducibility config — the
+    exact bytes hashed into a record address, so ``{"a": 1, "b": 2}``
+    and ``{"b": 2, "a": 1}`` share one address."""
+    return json.dumps(config, sort_keys=True, separators=(",", ":"))
+
+
+def _slug(key: str) -> str:
+    """A filesystem-safe, human-readable prefix for a cell key."""
+    return re.sub(r"[^A-Za-z0-9._=@-]+", "_", key)[:80]
+
+
+class ResultStore:
+    """A directory of content-addressed cell records shared across jobs.
+
+    Args:
+        directory: Store directory; created if missing.
+
+    Thread/process safety: :meth:`put` is atomic-replace, :meth:`get`
+    reads whole files, and addresses are deterministic — any number of
+    sweeps, jobs, or forked workers may hit one store concurrently with
+    last-write-wins semantics and no torn reads.
+    """
+
+    def __init__(self, directory):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def digest_for(self, key: str, config: dict) -> str:
+        """sha256 of the record address (stable grid key + config)."""
+        digest = hashlib.sha256()
+        digest.update(key.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(canonical_config(config).encode("utf-8"))
+        return digest.hexdigest()
+
+    def path_for(self, key: str, config: dict) -> str:
+        """The record path of cell ``key`` under config ``config``."""
+        name = f"{_slug(key)}-{self.digest_for(key, config)[:16]}{_SUFFIX}"
+        return os.path.join(self.directory, name)
+
+    # ------------------------------------------------------------------
+    # Read/write
+    # ------------------------------------------------------------------
+    def contains(self, key: str, config: dict) -> bool:
+        """Whether a record exists at this address (existence probe
+        only — no envelope validation, no hit/miss counters)."""
+        return os.path.exists(self.path_for(key, config))
+
+    def lookup(
+        self, key: str, config: dict
+    ) -> Tuple[Optional[CellResult], str]:
+        """``(cell, "hit")`` or ``(None, reason)`` without counting.
+
+        The counter-free primitive behind :meth:`get`;
+        :class:`~repro.experiments.checkpoint.SweepCheckpoint` uses it
+        directly so it can classify skips into its own
+        ``checkpoint_files_skipped_total`` reasons.
+        """
+        path = self.path_for(key, config)
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+        except OSError:
+            return None, "absent"
+        except ValueError:
+            return None, "corrupt"
+        if not isinstance(envelope, dict):
+            return None, "corrupt"
+        if envelope.get("format") != STORE_FORMAT:
+            return None, "format"
+        if envelope.get("key") != key:
+            return None, "key"
+        if envelope.get("config") != config:
+            return None, "config"
+        try:
+            cell = cell_from_dict(envelope["cell"])
+        except (KeyError, TypeError, ValueError):
+            return None, "corrupt"
+        # Refresh the record's mtime so age/size GC evicts by last use,
+        # not first write (best-effort; a concurrently replaced file is
+        # fine to skip).
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return cell, "hit"
+
+    def get_with_reason(
+        self, key: str, config: dict
+    ) -> Tuple[Optional[CellResult], str]:
+        """:meth:`lookup`, with the hit/miss counted in the ambient
+        registry (``result_store_events_total{event=hit}`` /
+        ``{event=miss, reason=...}``)."""
+        cell, reason = self.lookup(key, config)
+        if cell is not None:
+            _obs.registry().inc("result_store_events_total", event="hit")
+        else:
+            _obs.registry().inc(
+                "result_store_events_total", event="miss", reason=reason
+            )
+        return cell, reason
+
+    def get(self, key: str, config: dict) -> Optional[CellResult]:
+        """The stored cell for this address, or ``None`` on any miss
+        (counted — see :meth:`get_with_reason`)."""
+        cell, _ = self.get_with_reason(key, config)
+        return cell
+
+    def put(self, cell: CellResult) -> str:
+        """Atomically write ``cell``'s full-fidelity record (telemetry
+        snapshot included); returns the final path.
+
+        Safe from any process or thread: the envelope lands via
+        ``os.replace`` of a same-directory temp file, so concurrent
+        writers of one address are last-write-wins and a reader never
+        observes a partial record.
+        """
+        path = self.path_for(cell.key, cell.config)
+        envelope = {
+            "format": STORE_FORMAT,
+            "key": cell.key,
+            "config": cell.config,
+            "cell": cell_to_dict(cell),
+        }
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=_SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        _obs.registry().inc("result_store_events_total", event="put")
+        return path
+
+    def find(self, key: str) -> List[CellResult]:
+        """Every valid stored cell whose grid key is ``key``, any
+        config (a directory scan — diagnostics, not the hot path)."""
+        out = []
+        prefix = _slug(key) + "-"
+        for name in sorted(os.listdir(self.directory)):
+            if not (name.startswith(prefix) and name.endswith(_SUFFIX)):
+                continue
+            try:
+                with open(os.path.join(self.directory, name)) as handle:
+                    envelope = json.load(handle)
+                if (
+                    isinstance(envelope, dict)
+                    and envelope.get("format") == STORE_FORMAT
+                    and envelope.get("key") == key
+                ):
+                    out.append(cell_from_dict(envelope["cell"]))
+            except (OSError, KeyError, TypeError, ValueError):
+                continue
+        return out
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _records(self) -> List[Tuple[str, float, int]]:
+        """``(path, mtime, bytes)`` of every record file, oldest first."""
+        records = []
+        for name in os.listdir(self.directory):
+            if not name.endswith(_SUFFIX) or name.startswith(".tmp-"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue  # concurrently evicted/replaced
+            records.append((path, stat.st_mtime, stat.st_size))
+        records.sort(key=lambda record: record[1])
+        return records
+
+    def gc(
+        self,
+        max_age: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> dict:
+        """Evict records by age and/or total size; returns a summary.
+
+        Args:
+            max_age: Remove records last used more than this many
+                seconds ago (hits refresh a record's mtime, so this is
+                time-since-last-use).
+            max_bytes: After the age pass, remove least-recently-used
+                records until the store fits in this many bytes.
+
+        Returns:
+            ``{"removed", "bytes_freed", "files", "bytes"}`` — evictions
+            performed and the store's state afterwards.  Evictions count
+            as ``result_store_events_total{event=evict, reason=age|bytes}``.
+        """
+        removed = 0
+        freed = 0
+        records = self._records()
+        if max_age is not None:
+            cutoff = time.time() - float(max_age)
+            survivors = []
+            for path, mtime, size in records:
+                if mtime < cutoff:
+                    if self._evict(path, "age"):
+                        removed += 1
+                        freed += size
+                else:
+                    survivors.append((path, mtime, size))
+            records = survivors
+        if max_bytes is not None:
+            total = sum(size for _, _, size in records)
+            for path, _, size in records:
+                if total <= max_bytes:
+                    break
+                if self._evict(path, "bytes"):
+                    removed += 1
+                    freed += size
+                    total -= size
+        remaining = self._records()
+        summary = {
+            "removed": removed,
+            "bytes_freed": freed,
+            "files": len(remaining),
+            "bytes": sum(size for _, _, size in remaining),
+        }
+        if removed:
+            logger.info(
+                "store gc: evicted %d record(s), %d bytes freed (%s)",
+                removed, freed, self.directory,
+            )
+        return summary
+
+    def _evict(self, path: str, reason: str) -> bool:
+        try:
+            os.unlink(path)
+        except OSError:
+            return False  # concurrently removed — someone else's evict
+        _obs.registry().inc(
+            "result_store_events_total", event="evict", reason=reason
+        )
+        return True
+
+    def stats(self) -> dict:
+        """Store-level stats: file/byte footprint plus this process's
+        cumulative hit/miss/put/evict counters."""
+        records = self._records()
+        reg = _obs.registry()
+        return {
+            "directory": self.directory,
+            "format": STORE_FORMAT,
+            "files": len(records),
+            "bytes": sum(size for _, _, size in records),
+            "hits": reg.total("result_store_events_total", event="hit"),
+            "misses": reg.total("result_store_events_total", event="miss"),
+            "puts": reg.total("result_store_events_total", event="put"),
+            "evictions": reg.total(
+                "result_store_events_total", event="evict"
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.directory!r})"

@@ -392,31 +392,104 @@ class TestSweepCheckpointUnit:
     def test_roundtrip(self, tmp_path):
         store = SweepCheckpoint(tmp_path / "ckpt")
         cell = _toy_cell()
-        store.store(cell)
+        store.store_cell(cell)
         loaded = store.load(cell.key, cell.config)
         assert loaded is not None
         assert cell_to_dict(loaded) == cell_to_dict(cell)
 
     def test_missing_and_corrupt_files_resolve(self, tmp_path):
         store = SweepCheckpoint(tmp_path)
-        assert store.load("never-stored") is None
         cell = _toy_cell()
-        store.store(cell)
-        with open(store.path_for(cell.key), "w") as handle:
+        assert store.load(cell.key, cell.config) is None
+        store.store_cell(cell)
+        with open(store.path_for(cell.key, cell.config), "w") as handle:
             handle.write("{not json")
-        assert store.load(cell.key) is None
+        assert store.load(cell.key, cell.config) is None
 
     def test_config_mismatch_forces_resolve(self, tmp_path):
         store = SweepCheckpoint(tmp_path)
-        store.store(_toy_cell(seed=1))
+        store.store_cell(_toy_cell(seed=1))
         assert store.load("toy@a=1", {"cases": 2, "seed": 2}) is None
         assert store.load("toy@a=1", {"cases": 2, "seed": 1}) is not None
 
     def test_distinct_keys_never_collide(self, tmp_path):
         store = SweepCheckpoint(tmp_path)
         # Same sanitised prefix, different raw keys.
+        config = {"cases": 2, "seed": 1}
         a, b = "cell one", "cell/one"
-        assert store.path_for(a) != store.path_for(b)
+        assert store.path_for(a, config) != store.path_for(b, config)
+
+    def test_corrupt_file_warns_and_counts(self, tmp_path, caplog):
+        store = SweepCheckpoint(tmp_path)
+        cell = _toy_cell()
+        store.store_cell(cell)
+        with open(store.path_for(cell.key, cell.config), "w") as handle:
+            handle.write("{not json")
+        with obs.scoped_registry(enabled=True) as reg:
+            with caplog.at_level(
+                "WARNING", logger="repro.experiments.checkpoint"
+            ):
+                assert store.load(cell.key, cell.config) is None
+        assert "skipping unusable record" in caplog.text
+        assert (
+            reg.total("checkpoint_files_skipped_total", reason="corrupt")
+            == 1
+        )
+
+    def test_tampered_envelope_counts_as_mismatch(self, tmp_path, caplog):
+        import json
+
+        store = SweepCheckpoint(tmp_path)
+        cell = _toy_cell()
+        path = store.store_cell(cell)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["key"] = "someone-else"
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        with obs.scoped_registry(enabled=True) as reg:
+            with caplog.at_level(
+                "WARNING", logger="repro.experiments.checkpoint"
+            ):
+                assert store.load(cell.key, cell.config) is None
+        assert (
+            reg.total("checkpoint_files_skipped_total", reason="mismatch")
+            == 1
+        )
+
+    def test_format_version_mismatch_is_a_skip(self, tmp_path):
+        import json
+
+        store = SweepCheckpoint(tmp_path)
+        cell = _toy_cell()
+        path = store.store_cell(cell)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["format"] = 999  # a record from the future
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        with obs.scoped_registry(enabled=True) as reg:
+            assert store.load(cell.key, cell.config) is None
+        assert (
+            reg.total("checkpoint_files_skipped_total", reason="mismatch")
+            == 1
+        )
+
+    def test_absent_record_is_a_silent_cold_miss(self, tmp_path, caplog):
+        store = SweepCheckpoint(tmp_path)
+        with obs.scoped_registry(enabled=True) as reg:
+            with caplog.at_level(
+                "WARNING", logger="repro.experiments.checkpoint"
+            ):
+                assert store.load("never", {"cases": 2}) is None
+        assert caplog.text == ""
+        assert reg.total("checkpoint_files_skipped_total") == 0
+        assert (
+            reg.total(
+                "result_store_events_total", event="miss", reason="absent"
+            )
+            == 1
+        )
 
 
 class TestCheckpointResume:
@@ -454,6 +527,15 @@ class TestCheckpointResume:
         assert (
             counter_total(resumed.telemetry, "scenario_builds_total") == 2
         )
+        # The restored-vs-solved split is first-class in the snapshot
+        # (and on the result) — no more inferring it from build counts.
+        assert counter_total(
+            resumed.telemetry, "sweep_cells_restored_total"
+        ) == 2
+        assert counter_total(
+            resumed.telemetry, "sweep_cells_solved_total"
+        ) == 2
+        assert len(resumed.restored) == 2
         # ... and the checkpoint is now complete.
         assert len(sorted(ckpt.glob("*.cell.json"))) == 4
 
@@ -477,6 +559,13 @@ class TestCheckpointResume:
         assert (
             counter_total(resumed.telemetry, "scenario_builds_total") == 0
         )
+        assert counter_total(
+            resumed.telemetry, "sweep_cells_restored_total"
+        ) == 4
+        assert counter_total(
+            resumed.telemetry, "sweep_cells_solved_total"
+        ) == 0
+        assert resumed.restored == [cell.key for cell in plan.cells()]
         assert resumed.deterministic_rows() == first.deterministic_rows()
 
     def test_stored_snapshots_restore_telemetry_faithfully(

@@ -235,3 +235,80 @@ class TestExecution:
             row["key"] == "thermal@horizon=8/bang_bang"
             for row in table.rows()
         )
+
+
+class TestServiceCLI:
+    def test_serve_submit_jobs_parser_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--store", "/tmp/s", "--port", "0"]
+        )
+        assert (args.store, args.port, args.host) == (
+            "/tmp/s", 0, "127.0.0.1"
+        )
+        args = build_parser().parse_args(
+            ["submit", "--url", "http://h:1", "--scenarios", "thermal",
+             "--axis", "horizon=5:8:2", "--cases", "2", "--wait",
+             "--engine", "lockstep", "--out", "r.json"]
+        )
+        assert args.url == "http://h:1"
+        assert args.wait and args.out == "r.json"
+        assert args.axis[0].name == "horizon"
+        assert build_parser().parse_args(["jobs"]).url == (
+            "http://127.0.0.1:8712"
+        )
+
+    def test_submit_wait_against_live_service(self, capsys, tmp_path):
+        import threading
+
+        from repro.service import serve
+
+        server = serve(tmp_path / "store", port=0)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            argv = [
+                "submit", "--url", server.url, "--scenarios", "thermal",
+                "--cases", "2", "--horizon", "6", "--engine", "lockstep",
+                "--wait", "--out", str(tmp_path / "result.json"),
+            ]
+            assert main(argv) == 0
+            captured = capsys.readouterr()
+            assert "submitted job-1" in captured.out
+            assert "0 served from the store, 1 solved" in captured.err
+            assert (tmp_path / "result.json").exists()
+            # Resubmit: 100% store-hits.
+            assert main(argv[:-2]) == 0
+            captured = capsys.readouterr()
+            assert "1 served from the store, 0 solved" in captured.err
+            assert main(["jobs", "--url", server.url]) == 0
+            out = capsys.readouterr().out
+            assert "job-1" in out and "job-2" in out
+            assert "store:" in out
+        finally:
+            server.close()
+            thread.join(timeout=10)
+
+    def test_submit_unreachable_service_exits_2(self, capsys):
+        assert main(
+            ["submit", "--url", "http://127.0.0.1:1", "--scenarios",
+             "thermal", "--cases", "2"]
+        ) == 2
+        assert "submission" in capsys.readouterr().err
+
+    def test_sweep_checkpoint_reports_restored_split(
+        self, capsys, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        argv = [
+            "sweep", "--scenarios", "thermal", "--cases", "2",
+            "--horizon", "6", "--engine", "lockstep",
+            "--checkpoint", str(ckpt),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "0 cell(s) restored, 1 re-solved" in captured.err
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "1 cell(s) restored, 0 re-solved" in captured.err

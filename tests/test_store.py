@@ -1,0 +1,251 @@
+"""Unit and concurrency tests for the content-addressed result store.
+
+The concurrency proofs are the satellite contract: any number of
+writers of one cell address — threads, forked processes, two job
+managers over one directory, a checkpointed sweep racing a service job
+— must land whole records (atomic replace, last-write-wins) and any
+concurrent reader must see either a complete valid record or a clean
+miss, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.result import ApproachResult, CellResult, cell_to_dict
+from repro.observability import metrics as obs
+from repro.service.store import STORE_FORMAT, ResultStore
+from repro.utils.parallel import fork_available
+
+
+def toy_cell(key: str = "toy@a=1", seed: int = 1, scale: float = 1.0):
+    metrics = {
+        "energy": np.array([1.0, 2.0]) * scale,
+        "skip_rate": np.array([0.5, 0.25]),
+        "forced_steps": np.array([1.0, 0.0]),
+        "max_violation": np.array([-0.1, -0.2]),
+    }
+    return CellResult(
+        key=key,
+        scenario="toy",
+        coords=(("a", "1"),),
+        config={"cases": 2, "seed": seed},
+        approaches={
+            "baseline": ApproachResult(
+                metrics=metrics,
+                mean_controller_ms=0.1,
+                mean_monitor_ms=0.2,
+            )
+        },
+        telemetry={"counters": {"x_total": [{"labels": {}, "value": 1}]}},
+    )
+
+
+class TestStoreBasics:
+    def test_put_get_roundtrip_full_fidelity(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cell = toy_cell()
+        assert not store.contains(cell.key, cell.config)
+        path = store.put(cell)
+        assert os.path.exists(path)
+        assert store.contains(cell.key, cell.config)
+        loaded = store.get(cell.key, cell.config)
+        assert cell_to_dict(loaded) == cell_to_dict(cell)
+
+    def test_address_depends_on_key_and_config(self, tmp_path):
+        store = ResultStore(tmp_path)
+        config = {"cases": 2, "seed": 1}
+        assert store.path_for("a", config) != store.path_for("b", config)
+        assert store.path_for("a", config) != store.path_for(
+            "a", {"cases": 2, "seed": 2}
+        )
+        # Canonical JSON: key order does not matter.
+        assert store.digest_for("a", {"x": 1, "y": 2}) == store.digest_for(
+            "a", {"y": 2, "x": 1}
+        )
+
+    def test_events_counted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cell = toy_cell()
+        with obs.scoped_registry(enabled=True) as reg:
+            assert store.get(cell.key, cell.config) is None
+            store.put(cell)
+            assert store.get(cell.key, cell.config) is not None
+            assert reg.total(
+                "result_store_events_total", event="miss", reason="absent"
+            ) == 1
+            assert reg.total("result_store_events_total", event="put") == 1
+            assert reg.total("result_store_events_total", event="hit") == 1
+
+    def test_format_version_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cell = toy_cell()
+        path = store.put(cell)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        assert envelope["format"] == STORE_FORMAT
+        envelope["format"] = STORE_FORMAT + 1
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        found, reason = store.lookup(cell.key, cell.config)
+        assert found is None and reason == "format"
+
+    def test_tampered_key_and_config_are_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cell = toy_cell()
+        path = store.put(cell)
+        with open(path) as handle:
+            original = json.load(handle)
+        for field, value in (("key", "other"), ("config", {"cases": 99})):
+            envelope = dict(original)
+            envelope[field] = value
+            with open(path, "w") as handle:
+                json.dump(envelope, handle)
+            found, reason = store.lookup(cell.key, cell.config)
+            assert found is None and reason == field
+
+    def test_find_scans_by_key_across_configs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(toy_cell(seed=1))
+        store.put(toy_cell(seed=2))
+        store.put(toy_cell(key="other@b=2"))
+        assert len(store.find("toy@a=1")) == 2
+        assert store.find("missing") == []
+
+    def test_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(toy_cell())
+        stats = store.stats()
+        assert stats["files"] == 1
+        assert stats["bytes"] > 0
+        assert stats["format"] == STORE_FORMAT
+
+
+class TestStoreGC:
+    def test_gc_by_age_spares_recently_used(self, tmp_path):
+        store = ResultStore(tmp_path)
+        old, fresh = toy_cell(seed=1), toy_cell(seed=2)
+        old_path = store.put(old)
+        store.put(fresh)
+        stale = time.time() - 3600
+        os.utime(old_path, (stale, stale))
+        summary = store.gc(max_age=60)
+        assert summary["removed"] == 1
+        assert store.get(old.key, old.config) is None
+        assert store.get(fresh.key, fresh.config) is not None
+
+    def test_hit_refreshes_mtime_for_lru(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cell = toy_cell()
+        path = store.put(cell)
+        stale = time.time() - 3600
+        os.utime(path, (stale, stale))
+        assert store.get(cell.key, cell.config) is not None  # touches
+        assert store.gc(max_age=60)["removed"] == 0
+
+    def test_gc_by_bytes_evicts_lru_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        paths = [store.put(toy_cell(seed=seed)) for seed in range(4)]
+        for age, path in enumerate(reversed(paths)):
+            stamp = time.time() - 100 * (age + 1)
+            os.utime(path, (stamp, stamp))
+        # paths[0] is now the oldest; shrink to roughly two records.
+        size = os.path.getsize(paths[0])
+        with obs.scoped_registry(enabled=True) as reg:
+            summary = store.gc(max_bytes=2 * size)
+            assert reg.total(
+                "result_store_events_total", event="evict", reason="bytes"
+            ) == summary["removed"]
+        assert summary["removed"] == 2
+        assert summary["bytes"] <= 2 * size
+        assert not os.path.exists(paths[0])
+        assert os.path.exists(paths[3])
+
+    def test_gc_noop_when_within_budget(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(toy_cell())
+        summary = store.gc(max_age=3600, max_bytes=10**9)
+        assert summary["removed"] == 0
+        assert summary["files"] == 1
+
+
+class TestStoreConcurrency:
+    def test_threaded_writers_and_readers_no_torn_reads(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cell = toy_cell()
+        stop = threading.Event()
+        problems = []
+
+        def writer(scale):
+            variant = toy_cell(scale=scale)
+            while not stop.is_set():
+                store.put(variant)
+
+        def reader():
+            while not stop.is_set():
+                found, reason = store.lookup(cell.key, cell.config)
+                # Either a complete, valid record or a clean absent
+                # miss — "corrupt" would be a torn read.
+                if found is None and reason != "absent":
+                    problems.append(reason)
+
+        threads = [
+            threading.Thread(target=writer, args=(scale,))
+            for scale in (1.0, 2.0, 3.0)
+        ] + [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert problems == []
+        # Last write wins: the surviving record is one of the variants,
+        # intact.
+        final = store.get(cell.key, cell.config)
+        assert final is not None
+        energy = final.approaches["baseline"].metrics["energy"][0]
+        assert energy in (1.0, 2.0, 3.0)
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork")
+    def test_forked_writers_same_address_last_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cell = toy_cell()
+        ctx = mp.get_context("fork")
+
+        def hammer(scale):
+            for _ in range(50):
+                store.put(toy_cell(scale=scale))
+
+        procs = [
+            ctx.Process(target=hammer, args=(scale,))
+            for scale in (1.0, 2.0, 3.0, 4.0)
+        ]
+        for proc in procs:
+            proc.start()
+        problems = []
+        while any(proc.is_alive() for proc in procs):
+            found, reason = store.lookup(cell.key, cell.config)
+            if found is None and reason != "absent":
+                problems.append(reason)
+        for proc in procs:
+            proc.join()
+            assert proc.exitcode == 0
+        assert problems == []
+        final = store.get(cell.key, cell.config)
+        assert final is not None
+        energy = final.approaches["baseline"].metrics["energy"][0]
+        assert energy in (1.0, 2.0, 3.0, 4.0)
+        # No stray temp files left behind.
+        assert [
+            name
+            for name in os.listdir(store.directory)
+            if name.startswith(".tmp-")
+        ] == []

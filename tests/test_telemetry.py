@@ -187,6 +187,43 @@ class TestScopedRegistry:
         with obs.scoped_registry(enabled=True) as reg:
             assert obs_metrics.active() is reg
 
+    def test_scopes_are_thread_local(self):
+        # The service's job executor enters per-cell scopes on its own
+        # thread while the submitting thread may hold scopes of its
+        # own.  Scopes must be invisible across threads, and
+        # interleaved enter/exit (thread A enters, B enters, A exits,
+        # B exits) must never strand one thread's — possibly enabled —
+        # scoped registry as the process ambient.
+        import threading
+
+        ambient = obs.registry()
+        entered = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def worker():
+            with obs.scoped_registry(enabled=True) as reg:
+                seen["inside"] = obs.registry() is reg
+                entered.set()
+                release.wait(timeout=10)
+            seen["after"] = obs.registry()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=10)
+        # The worker's open scope is invisible here.
+        assert obs.registry() is ambient
+        assert not obs.telemetry_enabled()
+        # Interleave: enter and exit a scope while the worker's is open.
+        with obs.scoped_registry(enabled=False) as mine:
+            assert obs.registry() is mine
+        release.set()
+        thread.join(timeout=10)
+        assert seen["inside"]
+        assert seen["after"] is ambient
+        assert obs.registry() is ambient
+        assert not obs.telemetry_enabled()
+
 
 class TestRenderings:
     def test_prometheus_exposition(self):
